@@ -1,0 +1,101 @@
+"""Terminal-friendly plots for the figure benchmarks.
+
+The paper's figures are CDFs and line series; these helpers render them as
+ASCII so a benchmark run shows the *curve*, not just summary numbers, and
+the persisted reports in ``benchmarks/results/`` stay self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    x_label: str,
+    width: int = 60,
+    height: int = 12,
+    x_min: float = None,
+    x_max: float = None,
+) -> str:
+    """Render empirical CDFs of several series on one ASCII canvas.
+
+    Each series gets a distinct marker; y runs 0..1 bottom-to-top.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    values_all = [v for vs in series.values() for v in vs]
+    if not values_all:
+        raise ValueError("series contain no values")
+    lo = min(values_all) if x_min is None else x_min
+    hi = max(values_all) if x_max is None else x_max
+    if hi <= lo:
+        hi = lo + 1.0
+    markers = "*o+x#@%&"
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        ordered = sorted(values)
+        n = len(ordered)
+        for col in range(width):
+            x = lo + (hi - lo) * col / (width - 1)
+            fraction = sum(1 for v in ordered if v <= x) / n
+            row = height - 1 - int(round(fraction * (height - 1)))
+            if canvas[row][col] == " ":
+                canvas[row][col] = marker
+    lines = []
+    for row_index, row in enumerate(canvas):
+        y = 1.0 - row_index / (height - 1)
+        lines.append(f"{y:4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<10.3g}{'':^{max(0, width - 20)}}{hi:>10.3g}")
+    lines.append(f"      {x_label}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Dict[str, List[Tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render (x, y) line series as an ASCII scatter."""
+    if not series:
+        raise ValueError("series must be non-empty")
+    points_all = [p for pts in series.values() for p in pts]
+    if not points_all:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points_all]
+    ys = [p[1] for p in points_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    markers = "*o+x#@%&"
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            canvas[row][col] = marker
+    lines = [f"{y_label} (range {y_lo:g}..{y_hi:g})"]
+    for row in canvas:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_lo:<10.3g}{'':^{max(0, width - 20)}}{x_hi:>10.3g}")
+    lines.append(f"   {x_label}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append("   " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""E-F11 — Figure 11: FPS vs. number of players, four system variants.
+
+Multi-Furion (with or without its useless exact-match cache) degrades
+toward ~24 FPS at 4 players; Coterie without its cache degrades more
+slowly (far-BE frames are 2-3x smaller); Coterie with the cache holds
+60 FPS through 4 players.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import PAPER, fmt, once, report
+from repro.systems import SessionConfig, run_system
+
+GAMES = ("viking", "cts", "racing")
+VARIANTS = ("multi_furion", "multi_furion_cache", "coterie_nocache", "coterie")
+PLAYERS = (1, 2, 3, 4)
+
+
+def _run_all(config):
+    fps = {}
+    for game in GAMES:
+        for variant in VARIANTS:
+            for n in PLAYERS:
+                result = run_system(variant, game, n, config)
+                fps[(game, variant, n)] = result.mean_fps
+    return fps
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_scalability(benchmark, session_config):
+    fps = once(benchmark, _run_all, session_config)
+    for game in GAMES:
+        rows = [
+            (variant, *[fmt(fps[(game, variant, n)]) for n in PLAYERS])
+            for variant in VARIANTS
+        ]
+        report(
+            f"fig11_scalability_{game}",
+            ["variant"] + [f"{n}P" for n in PLAYERS],
+            rows,
+            notes="FPS vs player count (paper Fig. 11: Multi-Furion decays "
+            "to ~24 FPS at 4P, Coterie holds 60).",
+        )
+    for game in GAMES:
+        # Everyone does 60 at one player (network unconstrained).
+        for variant in VARIANTS:
+            assert fps[(game, variant, 1)] > 55
+        # Multi-Furion decays with players; its exact cache doesn't help.
+        assert fps[(game, "multi_furion", 4)] < PAPER["fig11_furion_4p_max"] + 8
+        assert fps[(game, "multi_furion", 4)] < fps[(game, "multi_furion", 2)]
+        assert abs(
+            fps[(game, "multi_furion_cache", 4)] - fps[(game, "multi_furion", 4)]
+        ) < 6
+        # Coterie w/o cache sits between Furion and full Coterie.
+        assert fps[(game, "coterie_nocache", 4)] > fps[(game, "multi_furion", 4)]
+        # Coterie holds 60 through 4 players.
+        assert fps[(game, "coterie", 4)] > PAPER["fig11_coterie_4p_min"]

@@ -1,0 +1,66 @@
+"""E-F8 — Figure 8: cutoff radius vs. triangle density (Viking Village).
+
+The paper's heatmap over 420 leaf regions shows a clear negative
+correlation: the denser the region (triangles per square metre), the
+smaller the generated cutoff radius.  We regenerate the scatter from the
+actual quadtree leaves and test the correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import fmt, once, report
+from repro.core import build_cutoff_map, measure_fi_budget
+from repro.metrics import histogram
+from repro.render import PIXEL2, RenderCostModel
+from repro.world import load_game
+
+
+def _collect():
+    world = load_game("viking")
+    model = RenderCostModel(PIXEL2)
+    budget = measure_fi_budget(model, world.spec.fi_triangles)
+    cutoff_map = build_cutoff_map(world.scene, model, budget, seed=3)
+    densities = []
+    radii = []
+    for leaf in cutoff_map.tree.leaves():
+        center = leaf.region.center
+        densities.append(world.scene.triangle_density(center, probe_radius=8.0))
+        radii.append(leaf.payload.cutoff_radius)
+    return np.array(densities), np.array(radii)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_radius_vs_density(benchmark):
+    densities, radii = once(benchmark, _collect)
+    # Bucket like the paper's heatmap: median density per radius band.
+    bands = [(0, 8), (8, 16), (16, 32), (32, 64), (64, 181)]
+    rows = []
+    for lo, hi in bands:
+        mask = (radii >= lo) & (radii < hi)
+        if not mask.any():
+            rows.append((f"{lo}-{hi} m", 0, "-"))
+            continue
+        rows.append(
+            (
+                f"{lo}-{hi} m",
+                int(mask.sum()),
+                fmt(float(np.median(densities[mask])), 0),
+            )
+        )
+    corr = float(np.corrcoef(np.log1p(densities), radii)[0, 1])
+    report(
+        "fig8_density_heatmap",
+        ["cutoff band", "leaves", "median tri/m^2"],
+        rows,
+        notes=f"Viking Village leaves; corr(log density, radius) = {corr:.2f} "
+        "(paper: clear negative correlation).",
+    )
+    assert corr < -0.4, "density-radius correlation too weak"
+    # The densest decile of leaves has clearly smaller radii than the
+    # sparsest decile.
+    dense_r = radii[densities >= np.percentile(densities, 90)]
+    sparse_r = radii[densities <= np.percentile(densities, 10)]
+    assert np.median(dense_r) < np.median(sparse_r)

@@ -1,0 +1,77 @@
+"""E-T10 — Table 10: the user study on frame discontinuity.
+
+The paper replays 6 single-player traces (2 per headline game, 20 s each)
+to 12 participants who grade the Coterie-vs-Multi-Furion difference from
+1 (very annoying) to 5 (imperceptible); 94.5 % answer 4 or 5.
+
+We replay full-fidelity Coterie runs, record the SSIM across every far-BE
+source *switch* (the visible discontinuity events), and feed them to the
+participant model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import PAPER, fmt, once, report
+from repro.metrics import MOS_LABELS, run_user_study
+from repro.systems import SessionConfig, run_coterie
+from repro.world import load_game
+
+GAMES = ("viking", "cts", "racing")
+TRACE_SECONDS = 10.0
+TRACES_PER_GAME = 2
+
+
+def _collect_traces(base_config, artifacts):
+    switch_traces = []
+    for game in GAMES:
+        world = load_game(game)
+        for trace_index in range(TRACES_PER_GAME):
+            config = SessionConfig(
+                duration_s=TRACE_SECONDS,
+                seed=100 + 17 * trace_index,
+                render_frames=True,
+                render_config=base_config.render_config,
+            )
+            result = run_coterie(
+                world, 1, config, artifacts[game], ssim_stride=10**9
+            )
+            switches = result.players[0].switch_ssims
+            if switches:
+                switch_traces.append(switches)
+    return switch_traces
+
+
+def _run_all(base_config, artifacts):
+    switch_traces = _collect_traces(base_config, artifacts)
+    result = run_user_study(switch_traces, n_participants=12, seed=7)
+    rows = [
+        (
+            score,
+            MOS_LABELS[score],
+            fmt(result.percentages[score]) + "%",
+            fmt(PAPER["table10"][score]) + "%",
+        )
+        for score in sorted(MOS_LABELS)
+    ]
+    return rows, result, switch_traces
+
+
+@pytest.mark.benchmark(group="table10")
+def test_table10_user_study(benchmark, session_config, headline_artifacts):
+    rows, result, traces = once(
+        benchmark, _run_all, session_config, headline_artifacts
+    )
+    report(
+        "table10_user_study",
+        ["score", "meaning", "measured", "paper"],
+        rows,
+        notes=f"12 simulated participants x {len(traces)} replay traces; "
+        "grades driven by each trace's worst far-BE switch discontinuity.",
+    )
+    # The paper's core claim: discontinuity is almost always acceptable.
+    acceptable = result.percentages[4] + result.percentages[5]
+    assert acceptable > 60.0, f"only {acceptable:.0f}% scored 4-5"
+    assert result.percentages[1] < 10.0
+    assert result.mean_score > 3.7

@@ -1,0 +1,64 @@
+"""E-T6 — Table 6: average frame-cache hit ratio, three headline games.
+
+Paper: Viking 80.8 %, Racing 82.3 %, CTS 88.4 % across 4 players — and the
+implied 5.2x / 5.6x / 8.6x reductions in far-BE prefetch frequency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import PAPER, fmt, once, report
+from repro.systems import run_coterie
+from repro.world import load_game
+
+GAMES = ("viking", "racing", "cts")
+
+
+def _run_all(session_config, headline_artifacts):
+    rows = []
+    ratios = {}
+    for game in GAMES:
+        world = load_game(game)
+        # A longer horizon than the default so racing laps cover both the
+        # forest sections and the open valley (the paper plays 10 minutes).
+        from repro.systems import SessionConfig
+
+        config = SessionConfig(
+            duration_s=40.0, seed=session_config.seed,
+            render_config=session_config.render_config,
+        )
+        result = run_coterie(
+            world, 4, config, headline_artifacts[game], use_cache=True
+        )
+        ratio = result.mean_cache_hit_ratio
+        ratios[game] = ratio
+        reduction = 1.0 / (1.0 - ratio) if ratio < 1 else float("inf")
+        paper_ratio = PAPER["table6"][game]
+        rows.append(
+            (
+                game,
+                fmt(100 * ratio) + "%",
+                fmt(paper_ratio) + "%",
+                fmt(reduction) + "x",
+                {"viking": "5.2x", "racing": "5.6x", "cts": "8.6x"}[game],
+            )
+        )
+    return rows, ratios
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_cache_hit_ratio(benchmark, session_config, headline_artifacts):
+    rows, ratios = once(benchmark, _run_all, session_config, headline_artifacts)
+    report(
+        "table6_hit_ratio",
+        ["game", "hit ratio", "paper", "prefetch reduction", "paper"],
+        rows,
+        notes="Average across 4 Coterie players; reduction = 1/(1-hit).",
+    )
+    for game, ratio in ratios.items():
+        assert ratio > 0.6, f"{game} hit ratio below the paper's regime"
+        # Prefetch frequency reduced several-fold.
+        assert 1.0 / (1.0 - ratio) > 2.5
+    # CTS (uniform, heavy world -> big cutoffs) reuses best, as in Table 6.
+    assert ratios["cts"] >= max(ratios["viking"], ratios["racing"]) - 0.02

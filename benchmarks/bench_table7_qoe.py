@@ -1,0 +1,120 @@
+"""E-T7 — Table 7: visual quality, frame rate, responsiveness (2 players).
+
+Visual quality is SSIM between what each system actually displays and the
+all-local reference frame:
+
+* Thin-client / Multi-Furion display a *decoded* stream of the (whole)
+  frame, so every pixel carries codec loss — paper SSIM ~0.90-0.95;
+* Coterie renders FI and near BE locally and only decodes the far BE, so
+  it scores *higher* (paper: 0.937-0.979) while also being the only system
+  at 60 FPS with sub-16.7 ms responsiveness.
+
+FPS/responsiveness come from the system simulations; SSIM from really
+rendering, encoding, decoding, and merging frames at sampled viewpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import PAPER, fmt, once, report
+from repro.codec import FrameCodec
+from repro.core.merger import compose_display
+from repro.render import RenderConfig
+from repro.render.rasterizer import merge_layers
+from repro.render.splitter import (
+    eye_at,
+    reference_frame,
+    render_far_be,
+    render_fi,
+    render_near_be,
+    render_whole_be,
+)
+from repro.similarity import ssim
+from repro.systems import run_coterie, run_multi_furion, run_thin_client
+from repro.trace import avatars_at, generate_party
+from repro.world import load_game
+
+GAMES = ("viking", "cts", "racing")
+SSIM_SAMPLES = 6
+CFG = RenderConfig()
+
+
+def _offline_ssim(world, artifacts, system: str) -> float:
+    """Displayed-vs-reference SSIM at sampled 2-player viewpoints."""
+    codec = FrameCodec()
+    party = generate_party(world, 2, duration_s=20, seed=41)
+    stride = max(1, len(party[0]) // SSIM_SAMPLES)
+    scores = []
+    for index in range(0, len(party[0]), stride)[:SSIM_SAMPLES]:
+        sample = party[0][index]
+        other = party[1][min(index, len(party[1]) - 1)]
+        eye = eye_at(world.scene, sample.position, world.spec.player.eye_height)
+        avatars = avatars_at(world, [sample.position, other.position], exclude_player=0)
+        reference = reference_frame(world.scene, eye, CFG, avatars=avatars)
+        fi_layer = render_fi(avatars, eye, CFG)
+        if system in ("thin_client", "multi_furion"):
+            whole = render_whole_be(world.scene, eye, CFG)
+            if system == "thin_client":
+                # Server renders BE+FI together; the whole stream is lossy.
+                streamed = merge_layers(whole, fi_layer)
+                displayed = codec.decode(codec.encode(streamed))
+            else:
+                # BE decoded from video, FI rendered locally on top.
+                decoded = codec.decode(codec.encode(whole.image))
+                displayed = compose_display(decoded, fi_layer)
+        else:  # coterie
+            cutoff = artifacts.cutoff_map.cutoff_for(sample.position)
+            far = render_far_be(world.scene, eye, CFG, cutoff)
+            decoded = codec.decode(codec.encode(far.image))
+            near = render_near_be(world.scene, eye, CFG, cutoff)
+            displayed = compose_display(decoded, near, fi_layer)
+        scores.append(ssim(displayed, reference))
+    return float(np.mean(scores))
+
+
+def _run_all(config, artifacts):
+    rows = []
+    data = {}
+    for game in GAMES:
+        world = load_game(game)
+        runs = {
+            "thin_client": run_thin_client(world, 2, config),
+            "multi_furion": run_multi_furion(world, 2, config),
+            "coterie": run_coterie(world, 2, config, artifacts[game]),
+        }
+        for system, result in runs.items():
+            quality = _offline_ssim(world, artifacts[game], system)
+            paper = PAPER["table7"][(system, game)]
+            rows.append(
+                (
+                    f"{game} ({system[0].upper()})",
+                    f"{quality:.3f} ({paper[0]:.3f})",
+                    f"{result.mean_fps:.0f} ({paper[1]})",
+                    f"{result.mean_responsiveness_ms:.1f} ({paper[2]})",
+                )
+            )
+            data[(game, system)] = (quality, result.mean_fps, result.mean_responsiveness_ms)
+    return rows, data
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_qoe(benchmark, session_config, headline_artifacts):
+    rows, data = once(benchmark, _run_all, session_config, headline_artifacts)
+    report(
+        "table7_qoe",
+        ["app (system)", "SSIM (paper)", "FPS (paper)", "resp ms (paper)"],
+        rows,
+        notes="T=Thin-client, M=Multi-Furion, C=Coterie; 2 players.",
+    )
+    for game in GAMES:
+        # Coterie's local near BE + FI avoid codec loss: best quality.
+        assert data[(game, "coterie")][0] >= data[(game, "multi_furion")][0]
+        assert data[(game, "coterie")][0] > 0.9
+        # Frame rate ordering: Coterie 60 > Multi-Furion > Thin-client.
+        assert data[(game, "coterie")][1] > 57
+        assert data[(game, "multi_furion")][1] > data[(game, "thin_client")][1]
+        # Responsiveness: only Coterie meets the sub-16.7 ms bar.
+        assert data[(game, "coterie")][2] < 16.7
+        assert data[(game, "thin_client")][2] > 30.0

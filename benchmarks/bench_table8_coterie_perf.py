@@ -1,0 +1,66 @@
+"""E-T8 — Table 8: Coterie's detailed per-player performance (1P and 2P).
+
+FPS, inter-frame latency, CPU/GPU load, far-BE frame size, and network
+delay for the three headline games.  The shapes under test: 60 FPS with
+sub-16.7 ms intervals at both player counts; GPU usage that does *not*
+grow with players; far-BE transfer delay under ~9 ms; frame sizes roughly
+half the whole-BE sizes of Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import PAPER, fmt, once, report
+from repro.systems import run_coterie
+from repro.world import load_game
+
+GAMES = ("viking", "cts", "racing")
+
+
+def _run_all(config, artifacts):
+    rows = []
+    results = {}
+    for game in GAMES:
+        world = load_game(game)
+        for players in (1, 2):
+            result = run_coterie(world, players, config, artifacts[game])
+            player0 = result.players[0]
+            paper = PAPER["table8"][(game, players)]
+            rows.append(
+                (
+                    f"{game} ({players}P)",
+                    fmt(result.mean_fps, 0),
+                    fmt(result.mean_inter_frame_ms),
+                    f"{fmt(100 * player0.metrics.cpu_utilization)} ({paper[2]:.0f})",
+                    f"{fmt(100 * player0.metrics.gpu_utilization)} ({paper[3]:.0f})",
+                    f"{fmt(player0.metrics.frame_kb, 0)} ({paper[4]})",
+                    f"{fmt(player0.metrics.net_delay_ms)} ({paper[5]})",
+                )
+            )
+            results[(game, players)] = result
+    return rows, results
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_coterie_performance(benchmark, session_config, headline_artifacts):
+    rows, results = once(benchmark, _run_all, session_config, headline_artifacts)
+    report(
+        "table8_coterie_perf",
+        ["app", "FPS", "inter ms", "CPU% (paper)", "GPU% (paper)",
+         "frame KB (paper)", "net ms (paper)"],
+        rows,
+        notes="Coterie on the three headline games, 1 and 2 players.",
+    )
+    for (game, players), result in results.items():
+        player0 = result.players[0]
+        assert result.mean_fps >= 58, f"{game} {players}P below 60 FPS"
+        assert result.mean_inter_frame_ms < 17.5
+        assert player0.metrics.net_delay_ms < 12.0
+        assert player0.metrics.cpu_utilization < 0.40
+        assert player0.metrics.gpu_utilization < 0.70
+    # GPU load does not grow with the player count (local work is constant).
+    for game in GAMES:
+        gpu1 = results[(game, 1)].players[0].metrics.gpu_utilization
+        gpu2 = results[(game, 2)].players[0].metrics.gpu_utilization
+        assert abs(gpu1 - gpu2) < 0.06

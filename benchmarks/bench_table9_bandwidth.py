@@ -1,0 +1,72 @@
+"""E-T9 — Table 9: network bandwidth for BE frames and FI sync.
+
+Multi-Furion needs ~270-283 Mbps *per player*; Coterie's per-player BE
+traffic is 10.6x-25.7x lower and FI sync stays 2-4 orders of magnitude
+below BE even at 4 players.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import PAPER, fmt, once, report
+from repro.systems import SessionConfig, run_coterie, run_multi_furion
+from repro.world import load_game
+
+GAMES = ("viking", "cts", "racing")
+PLAYERS = (1, 2, 3, 4)
+
+
+def _run_all(config, artifacts):
+    rows = []
+    data = {}
+    for game in GAMES:
+        world = load_game(game)
+        furion = run_multi_furion(world, 1, config)
+        entries = {"furion_1p": (furion.be_mbps, furion.fi_kbps)}
+        for n in PLAYERS:
+            result = run_coterie(world, n, config, artifacts[game])
+            entries[n] = (result.be_mbps, result.fi_kbps)
+        data[game] = entries
+        paper = PAPER["table9"][game]
+        rows.append(
+            (
+                game,
+                f"{entries['furion_1p'][0]:.0f}/{entries['furion_1p'][1]:.0f} "
+                f"({paper['furion_1p'][0]}/{paper['furion_1p'][1]})",
+                *[
+                    f"{entries[n][0]:.0f}/{entries[n][1]:.0f} "
+                    f"({paper['coterie'][n][0]}/{paper['coterie'][n][1]})"
+                    for n in PLAYERS
+                ],
+            )
+        )
+    return rows, data
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_network_bandwidth(benchmark, session_config, headline_artifacts):
+    rows, data = once(benchmark, _run_all, session_config, headline_artifacts)
+    report(
+        "table9_bandwidth",
+        ["game", "Furion 1P Mbps/Kbps (paper)"]
+        + [f"Coterie {n}P (paper)" for n in PLAYERS],
+        rows,
+        notes="BE traffic in Mbps / FI sync in Kbps. Paper's headline: "
+        "10.6x-25.7x per-player reduction.",
+    )
+    for game in GAMES:
+        entries = data[game]
+        furion_per_player = entries["furion_1p"][0]
+        coterie_per_player = entries[1][0]
+        reduction = furion_per_player / max(coterie_per_player, 1e-9)
+        # The headline reduction: roughly an order of magnitude or more.
+        assert reduction > 6.0, f"{game}: only {reduction:.1f}x reduction"
+        # Coterie BE traffic grows roughly linearly with players...
+        assert entries[4][0] > 2.5 * entries[1][0]
+        # ...but stays far below the link capacity at 4 players.
+        assert entries[4][0] < 180.0
+        # FI orders of magnitude below BE.
+        assert entries[4][1] < entries[4][0] * 1000.0 / 50.0
+        # FI grows superlinearly with players (N^2 fan-out).
+        assert entries[4][1] > 3.0 * entries[2][1]

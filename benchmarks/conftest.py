@@ -1,0 +1,36 @@
+"""Pytest configuration for the benchmark suite.
+
+Adds the benchmarks directory to the import path so every bench module can
+``import harness``, and provides session-scoped fixtures for the expensive
+shared artifacts (game worlds and offline preprocessing), so regenerating
+all tables reuses one preprocessing pass per game.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.systems import SessionConfig, prepare_artifacts
+from repro.world import load_game
+
+HEADLINE = ("viking", "cts", "racing")
+
+
+@pytest.fixture(scope="session")
+def session_config():
+    """The default emulated-fidelity configuration used across benches."""
+    return SessionConfig(duration_s=12.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def headline_artifacts(session_config):
+    """Offline preprocessing for the three §7 evaluation games."""
+    return {
+        game: prepare_artifacts(load_game(game), session_config)
+        for game in HEADLINE
+    }

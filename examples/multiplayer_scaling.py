@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Multiplayer scaling: why Multi-Furion fails and Coterie doesn't.
+
+Sweeps 1-4 players across the replicated-Furion architecture and Coterie
+on one game and prints the Figure-11 series side by side, together with
+the per-player network load (the Table 9 story).
+
+Run:  python examples/multiplayer_scaling.py [game]
+"""
+
+import sys
+
+from repro.systems import SessionConfig, prepare_artifacts, run_coterie, run_multi_furion
+from repro.world import load_game
+
+
+def main(game: str = "viking") -> None:
+    world = load_game(game)
+    config = SessionConfig(duration_s=10.0, seed=7)
+    print(f"Preparing offline artifacts for {world.spec.title}...")
+    artifacts = prepare_artifacts(world, config)
+
+    print(f"\n{'players':>8} | {'Furion FPS':>10} | {'Coterie FPS':>11} | "
+          f"{'Furion Mbps/p':>13} | {'Coterie Mbps/p':>14} | {'hit':>5}")
+    print("-" * 75)
+    for players in (1, 2, 3, 4):
+        furion = run_multi_furion(world, players, config)
+        coterie = run_coterie(world, players, config, artifacts)
+        hit = coterie.mean_cache_hit_ratio
+        print(
+            f"{players:>8} | {furion.mean_fps:>10.1f} | {coterie.mean_fps:>11.1f} | "
+            f"{furion.per_player_be_mbps():>13.0f} | "
+            f"{coterie.per_player_be_mbps():>14.0f} | {100 * hit:>4.0f}%"
+        )
+
+    print(
+        "\nThe replicated architecture loses 60 FPS beyond one player as the "
+        "shared medium saturates;\nCoterie's frame cache keeps per-player "
+        "traffic low enough for four players (paper Fig. 11)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "viking")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The §7.4 user study, end to end: record, replay, grade.
+
+Records single-player movement traces, replays them under full-fidelity
+Coterie (frames really rendered, encoded, decoded, merged), measures the
+SSIM across every far-BE source switch, and grades the replays with the
+12-participant opinion model — Table 10's pipeline in one script.
+
+Run:  python examples/user_study_replay.py  (takes a couple of minutes)
+"""
+
+from repro.metrics import MOS_LABELS, run_user_study
+from repro.systems import SessionConfig, prepare_artifacts, run_coterie
+from repro.trace import generate_trajectory, save_traces
+from repro.world import load_game
+
+GAMES = ("viking", "cts")
+TRACE_SECONDS = 6.0
+
+
+def main() -> None:
+    switch_traces = []
+    for game in GAMES:
+        world = load_game(game)
+        config = SessionConfig(
+            duration_s=TRACE_SECONDS, seed=2024, render_frames=True
+        )
+        print(f"Preparing {world.spec.title}...")
+        artifacts = prepare_artifacts(world, config)
+
+        # Record the movement trace (replayable via repro.trace.recorder).
+        trace = generate_trajectory(world, TRACE_SECONDS, seed=2024)
+        save_traces([trace], f"/tmp/{game}_study_trace.json")
+
+        print(f"Replaying {TRACE_SECONDS:g}s under full-fidelity Coterie...")
+        result = run_coterie(world, 1, config, artifacts, ssim_stride=10**9)
+        switches = result.players[0].switch_ssims
+        if switches:
+            print(f"  {len(switches)} far-BE switches, "
+                  f"SSIM {min(switches):.3f}-{max(switches):.3f}")
+            switch_traces.append(switches)
+
+    print("\nGrading with 12 simulated participants "
+          "(1 = very annoying ... 5 = imperceptible):")
+    study = run_user_study(switch_traces, n_participants=12, seed=7)
+    for score in sorted(MOS_LABELS, reverse=True):
+        bar = "#" * int(round(study.percentages[score] / 2))
+        print(f"  {score} {MOS_LABELS[score]:30s} "
+              f"{study.percentages[score]:5.1f}%  {bar}")
+    print(f"\nMean opinion score: {study.mean_score:.2f} "
+          f"(paper Table 10: 94.5% of gradings are 4 or 5)")
+
+
+if __name__ == "__main__":
+    main()

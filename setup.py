@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under
+PEP 517; this shim lets the legacy editable path
+(``pip install -e . --no-use-pep517``) work offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

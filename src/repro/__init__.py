@@ -1,0 +1,40 @@
+"""Coterie (ASPLOS 2020) reproduction.
+
+A full Python reimplementation of "Coterie: Exploiting Frame Similarity to
+Enable High-Quality Multiplayer VR on Commodity Mobile Devices" (Meng,
+Paul, Hu) on simulated substrates: procedural game worlds, a software
+panoramic renderer, a DCT video codec, a discrete-event 802.11ac model,
+and device timing/power/thermal models — plus the paper's algorithms
+(adaptive cutoff quadtree, frame cache, prefetcher) and the four
+end-to-end systems (Mobile, Thin-client, Multi-Furion, Coterie).
+
+Typical entry points:
+
+>>> from repro.world import load_game
+>>> from repro.systems import SessionConfig, prepare_artifacts, run_coterie
+>>> world = load_game("viking")
+>>> config = SessionConfig(duration_s=10, seed=42)
+>>> artifacts = prepare_artifacts(world, config)
+>>> result = run_coterie(world, 4, config, artifacts)
+>>> result.mean_fps  # doctest: +SKIP
+60.0
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "codec",
+    "core",
+    "geometry",
+    "metrics",
+    "net",
+    "render",
+    "sim",
+    "similarity",
+    "systems",
+    "trace",
+    "world",
+]

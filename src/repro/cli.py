@@ -1,0 +1,109 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the everyday workflows:
+
+* ``run`` — simulate one (system, game, players) experiment and print the
+  QoE/network summary;
+* ``preprocess`` — run the §6 offline pipeline for a game and print the
+  cutoff-scheme statistics (Table 3's columns);
+* ``games`` — list the nine study games with their published dimensions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
+from .world import ALL_GAMES, game_spec, load_game
+
+
+def _cmd_games(_args: argparse.Namespace) -> int:
+    print(f"{'name':10} {'title':24} {'genre':24} {'dimensions':>12}  type")
+    for name in ALL_GAMES:
+        spec = game_spec(name)
+        dims = f"{spec.dimensions[0]:g}x{spec.dimensions[1]:g} m"
+        kind = "indoor" if spec.indoor else "outdoor"
+        print(f"{name:10} {spec.title:24} {spec.genre:24} {dims:>12}  {kind}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SessionConfig(duration_s=args.duration, seed=args.seed,
+                           wifi_mbps=args.wifi_mbps)
+    result = run_system(args.system, args.game, args.players, config)
+    print(f"{args.system} on {args.game}, {args.players} player(s), "
+          f"{args.duration:g}s simulated:")
+    print(f"  FPS             : {result.mean_fps:.1f}")
+    print(f"  inter-frame     : {result.mean_inter_frame_ms:.1f} ms")
+    print(f"  responsiveness  : {result.mean_responsiveness_ms:.1f} ms")
+    if result.mean_cache_hit_ratio is not None:
+        print(f"  cache hit ratio : {100 * result.mean_cache_hit_ratio:.1f} %")
+    print(f"  BE traffic      : {result.be_mbps:.1f} Mbps "
+          f"({result.per_player_be_mbps():.1f}/player)")
+    print(f"  FI traffic      : {result.fi_kbps:.1f} Kbps")
+    player = result.players[0]
+    print(f"  CPU / GPU       : {100 * player.metrics.cpu_utilization:.0f} % "
+          f"/ {100 * player.metrics.gpu_utilization:.0f} %")
+    print(f"  power draw      : {player.power_w:.2f} W")
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    world = load_game(args.game)
+    config = SessionConfig(seed=args.seed)
+    artifacts = prepare_artifacts(world, config, seed=args.seed)
+    stats = artifacts.cutoff_map.stats()
+    radii = sorted(artifacts.cutoff_map.leaf_radii())
+    print(f"offline preprocessing for {world.spec.title}:")
+    print(f"  leaf regions     : {stats.leaf_count}")
+    print(f"  quadtree depth   : {stats.avg_depth:.2f} avg / {stats.max_depth} max")
+    print(f"  cutoff radii     : {radii[0]:.1f} - {radii[-1]:.1f} m "
+          f"(median {radii[len(radii) // 2]:.1f})")
+    print(f"  FI budget        : {artifacts.budget.fi_ms:.1f} ms "
+          f"-> near BE {artifacts.budget.near_be_budget_ms:.1f} ms")
+    print(f"  far-BE frame     : ~{artifacts.far_size_model.mean_bytes / 1000:.0f} KB")
+    print(f"  whole-BE frame   : ~{artifacts.whole_size_model.mean_bytes / 1000:.0f} KB")
+    print(f"  modeled offline  : "
+          f"{artifacts.cutoff_map.modeled_processing_hours():.2f} h on-device")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coterie (ASPLOS 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    games = sub.add_parser("games", help="list the nine study games")
+    games.set_defaults(func=_cmd_games)
+
+    run = sub.add_parser("run", help="simulate one experiment")
+    run.add_argument("system", choices=SYSTEMS)
+    run.add_argument("game", choices=ALL_GAMES)
+    run.add_argument("players", type=int, nargs="?", default=2)
+    run.add_argument("--duration", type=float, default=10.0,
+                     help="simulated seconds of game play")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--wifi-mbps", type=float, default=500.0)
+    run.set_defaults(func=_cmd_run)
+
+    pre = sub.add_parser("preprocess", help="run the offline pipeline")
+    pre.add_argument("game", choices=ALL_GAMES)
+    pre.add_argument("--seed", type=int, default=3)
+    pre.set_defaults(func=_cmd_preprocess)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Entropy coding: zig-zag scan + DEFLATE.
+
+Quantized DCT blocks are mostly zeros in their high-frequency corner; the
+zig-zag scan turns that corner into long zero runs that DEFLATE compresses
+to almost nothing, the same structural trick H.264's CAVLC exploits.  The
+byte stream this stage produces is what the network model transfers, so
+frame *content* (texture detail, coverage) directly becomes frame *size*.
+"""
+
+from __future__ import annotations
+
+import zlib
+from functools import lru_cache
+
+import numpy as np
+
+from .blocks import BLOCK
+
+_COMPRESSION_LEVEL = 6
+
+
+@lru_cache(maxsize=1)
+def zigzag_order() -> np.ndarray:
+    """Flat indices of an 8x8 block in zig-zag (JPEG) scan order."""
+    order = sorted(
+        ((i, j) for i in range(BLOCK) for j in range(BLOCK)),
+        key=lambda ij: (
+            ij[0] + ij[1],
+            ij[1] if (ij[0] + ij[1]) % 2 else ij[0],
+        ),
+    )
+    return np.array([i * BLOCK + j for i, j in order], dtype=np.intp)
+
+
+def encode_levels(levels: np.ndarray) -> bytes:
+    """Serialize quantized levels: zig-zag scan then DEFLATE."""
+    if levels.ndim != 4 or levels.shape[2:] != (BLOCK, BLOCK):
+        raise ValueError("levels must be (ny, nx, 8, 8)")
+    flat = levels.reshape(levels.shape[0] * levels.shape[1], BLOCK * BLOCK)
+    scanned = flat[:, zigzag_order()]
+    clipped = np.clip(scanned, -32768, 32767).astype("<i2")
+    return zlib.compress(clipped.tobytes(), _COMPRESSION_LEVEL)
+
+
+def decode_levels(data: bytes, ny: int, nx: int) -> np.ndarray:
+    """Inverse of :func:`encode_levels`."""
+    if ny < 1 or nx < 1:
+        raise ValueError("block grid dimensions must be positive")
+    raw = zlib.decompress(data)
+    expected = ny * nx * BLOCK * BLOCK * 2
+    if len(raw) != expected:
+        raise ValueError(
+            f"corrupt stream: expected {expected} bytes, got {len(raw)}"
+        )
+    scanned = np.frombuffer(raw, dtype="<i2").reshape(ny * nx, BLOCK * BLOCK)
+    flat = np.empty_like(scanned)
+    flat[:, zigzag_order()] = scanned
+    return flat.reshape(ny, nx, BLOCK, BLOCK).astype(np.int32)

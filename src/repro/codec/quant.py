@@ -1,0 +1,59 @@
+"""Quantization with a CRF-style quality knob.
+
+The Coterie server encodes with "x264 with Constant Rate Factor of 25"
+(§5.1).  We mirror that interface: :func:`quant_scale` maps a CRF value to
+a multiplier on the JPEG luminance quantization matrix, doubling roughly
+every 6 CRF steps like x264's quantizer staircase, with CRF 25 as the
+unit-scale anchor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blocks import BLOCK
+
+DEFAULT_CRF = 25.0
+
+# Standard JPEG luminance quantization matrix (Annex K) — a reasonable
+# perceptual weighting for an 8x8 DCT codec.
+BASE_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quant_scale(crf: float) -> float:
+    """Quantizer multiplier for a CRF value (doubles every +6 CRF)."""
+    if not 0.0 <= crf <= 51.0:
+        raise ValueError(f"CRF must be in [0, 51], got {crf}")
+    return float(2.0 ** ((crf - DEFAULT_CRF) / 6.0))
+
+
+def quant_matrix(crf: float = DEFAULT_CRF) -> np.ndarray:
+    """The scaled quantization matrix for a CRF, clamped to >= 1."""
+    return np.maximum(1.0, BASE_QUANT * quant_scale(crf))
+
+
+def quantize(coeffs: np.ndarray, crf: float = DEFAULT_CRF) -> np.ndarray:
+    """Round DCT coefficients to quantization steps (int32)."""
+    if coeffs.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError("coeffs must be (..., 8, 8)")
+    q = quant_matrix(crf)
+    return np.round(coeffs / q).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, crf: float = DEFAULT_CRF) -> np.ndarray:
+    """Reconstruct coefficient magnitudes from quantized levels."""
+    if levels.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError("levels must be (..., 8, 8)")
+    return levels.astype(np.float64) * quant_matrix(crf)

@@ -1,0 +1,193 @@
+"""The far-BE frame cache (§5.3, Tables 4-6).
+
+Each Coterie client caches the far-BE frames it prefetched.  A lookup for
+grid point *k* returns a cached frame as a hit when three criteria hold:
+
+1. the cached frame's grid point is within the leaf's ``dist_thresh`` of
+   *k* (similarity, derived offline per leaf region);
+2. both points lie in the same quadtree leaf region (different regions may
+   use different cutoff radii, which would open a near/far gap);
+3. the cached frame's near-BE object set equals the one at *k* (otherwise
+   an object could fall in neither the rendered near BE nor the cached far
+   BE and go missing from the merged frame).
+
+Of all candidates passing the criteria the *closest* one is returned.
+Replacement is LRU (temporal locality) or FLF — furthest location first
+(spatial locality); the paper finds both effective because the two
+localities coincide in player movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from ..geometry import GridPoint, Vec2
+from .cutoff import LeafKey
+
+LRU = "lru"
+FLF = "flf"
+
+
+@dataclass
+class CachedFrame:
+    """A cached far-BE frame plus the metadata lookups need."""
+
+    grid_point: GridPoint
+    position: Vec2
+    leaf: LeafKey
+    near_ids: FrozenSet[int]
+    payload: Any  # EncodedFrame / rendered Layer / None for emulation
+    size_bytes: int
+    inserted_ms: float
+    last_used_ms: float
+    origin_player: int = -1  # who prefetched it (inter-player experiments)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    exact_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class FrameCache:
+    """In-memory far-BE frame cache with similarity lookup.
+
+    ``capacity_bytes`` bounds total payload size (phone memory is limited,
+    e.g. 4 GB on Pixel 2); ``policy`` selects the replacement strategy.
+    ``exact_only`` restricts lookups to exact grid-point matches (cache
+    Versions 1/2 of Table 4).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 512 * 1024 * 1024,
+        policy: str = LRU,
+        exact_only: bool = False,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if policy not in (LRU, FLF):
+            raise ValueError(f"unknown policy {policy!r}; use 'lru' or 'flf'")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.exact_only = exact_only
+        self.stats = CacheStats()
+        self._frames: Dict[GridPoint, CachedFrame] = {}
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def frames(self) -> List[CachedFrame]:
+        """Snapshot of all resident frames."""
+        return list(self._frames.values())
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self,
+        grid_point: GridPoint,
+        position: Vec2,
+        leaf: LeafKey,
+        near_ids: FrozenSet[int],
+        dist_thresh: float,
+        now_ms: float,
+    ) -> Optional[CachedFrame]:
+        """Find a reusable frame for ``grid_point`` (§5.3 lookup algorithm).
+
+        Records a hit or miss in :attr:`stats`; a hit refreshes the entry's
+        LRU timestamp.
+        """
+        if dist_thresh < 0:
+            raise ValueError("dist_thresh must be non-negative")
+
+        exact = self._frames.get(grid_point)
+        if exact is not None:
+            exact.last_used_ms = now_ms
+            self.stats.hits += 1
+            self.stats.exact_hits += 1
+            return exact
+        if self.exact_only:
+            self.stats.misses += 1
+            return None
+
+        best: Optional[CachedFrame] = None
+        best_distance = float("inf")
+        for frame in self._frames.values():
+            distance = frame.position.distance_to(position)
+            if distance > dist_thresh:
+                continue  # criterion 1
+            if frame.leaf != leaf:
+                continue  # criterion 2
+            if frame.near_ids != near_ids:
+                continue  # criterion 3
+            if distance < best_distance:
+                best = frame
+                best_distance = distance
+        if best is None:
+            self.stats.misses += 1
+            return None
+        best.last_used_ms = now_ms
+        self.stats.hits += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Insertion and replacement
+    # ------------------------------------------------------------------
+
+    def insert(self, frame: CachedFrame) -> None:
+        """Insert (or replace) a frame, evicting per policy if needed."""
+        if frame.size_bytes > self.capacity_bytes:
+            raise ValueError("frame larger than the whole cache")
+        existing = self._frames.get(frame.grid_point)
+        if existing is not None:
+            self._bytes -= existing.size_bytes
+        self._frames[frame.grid_point] = frame
+        self._bytes += frame.size_bytes
+        self._evict_if_needed(player_position=frame.position)
+
+    def _evict_if_needed(self, player_position: Vec2) -> None:
+        while self._bytes > self.capacity_bytes and self._frames:
+            victim = self._pick_victim(player_position)
+            del self._frames[victim.grid_point]
+            self._bytes -= victim.size_bytes
+            self.stats.evictions += 1
+
+    def _pick_victim(self, player_position: Vec2) -> CachedFrame:
+        frames = self._frames.values()
+        if self.policy == LRU:
+            return min(frames, key=lambda f: f.last_used_ms)
+        # FLF: evict the frame furthest from the player's current position.
+        return max(frames, key=lambda f: f.position.distance_to(player_position))
+
+    def clear(self) -> None:
+        """Drop every cached frame (stats are kept)."""
+        self._frames.clear()
+        self._bytes = 0

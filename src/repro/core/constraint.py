@@ -1,0 +1,90 @@
+"""Constraint 1: the render-time budget that bounds the cutoff radius.
+
+The mobile device must render FI plus near BE inside the 60 FPS frame
+budget (§4.3):
+
+    RT_FI + RT_nearBE < 16.7 ms
+
+RT_FI is measured per app/device from recorded game play and bounded
+conservatively (the paper measures "well below 4 ms" on Pixel 2 and uses
+4 ms, leaving 12.7 ms for near BE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Vec2
+from ..render.timing import RenderCostModel
+from ..world.scene import Scene
+
+FRAME_BUDGET_MS = 16.7
+# The paper's conservative FI bound on Pixel 2.
+PAPER_FI_BOUND_MS = 4.0
+
+
+@dataclass(frozen=True)
+class RenderBudget:
+    """The per-frame budget split between FI and near BE.
+
+    ``headroom`` keeps a slice of the near-BE budget unspent: the paper's
+    strict inequality plus on-device measurement variance effectively
+    leaves pipeline slack (their Coterie GPU sits near 55-65 %, not pinned
+    at the budget), which we make explicit.
+    """
+
+    frame_budget_ms: float = FRAME_BUDGET_MS
+    fi_ms: float = PAPER_FI_BOUND_MS
+    headroom: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.frame_budget_ms <= 0:
+            raise ValueError("frame_budget_ms must be positive")
+        if not 0 <= self.fi_ms < self.frame_budget_ms:
+            raise ValueError(
+                f"fi_ms {self.fi_ms} must be in [0, {self.frame_budget_ms})"
+            )
+        if not 0 < self.headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+
+    @property
+    def near_be_budget_ms(self) -> float:
+        """Time available for near BE (Eq. 1: 16.7 - RT_FI, with headroom)."""
+        return (self.frame_budget_ms - self.fi_ms) * self.headroom
+
+
+def measure_fi_budget(
+    model: RenderCostModel,
+    fi_triangles: float,
+    safety_factor: float = 1.3,
+    conservative_floor_ms: float = PAPER_FI_BOUND_MS,
+) -> RenderBudget:
+    """Derive the budget from an FI render-time measurement.
+
+    Mirrors the paper's installation-time procedure: replay recorded FI and
+    take a conservative upper bound — the paper measures "well below 4 ms"
+    on Pixel 2 yet still budgets the full 4 ms, so the bound never drops
+    below ``conservative_floor_ms`` even when the measurement is lower.
+    """
+    if safety_factor < 1.0:
+        raise ValueError("safety_factor must be >= 1")
+    measured = model.fi_ms(fi_triangles)
+    fi_bound = max(measured * safety_factor, conservative_floor_ms)
+    if fi_bound >= FRAME_BUDGET_MS:
+        raise ValueError(
+            f"FI render time {measured:.1f} ms leaves no near-BE budget"
+        )
+    return RenderBudget(fi_ms=fi_bound)
+
+
+def satisfies_constraint(
+    model: RenderCostModel,
+    scene: Scene,
+    viewpoint: Vec2,
+    cutoff_radius: float,
+    budget: RenderBudget,
+) -> bool:
+    """Whether rendering near BE at ``cutoff_radius`` fits the budget."""
+    if cutoff_radius < 0:
+        raise ValueError("cutoff_radius must be non-negative")
+    return model.near_be_ms(scene, viewpoint, cutoff_radius) < budget.near_be_budget_ms

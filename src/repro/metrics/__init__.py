@@ -1,0 +1,45 @@
+"""Telemetry: per-frame metrics, CPU/power/thermal models, MOS scoring."""
+
+from .collector import (
+    TARGET_FRAME_MS,
+    FrameRecord,
+    MetricsCollector,
+    SessionMetrics,
+)
+from .power import BATTERY_WH, PowerModel
+from .qoe import (
+    MOS_LABELS,
+    UserStudyResult,
+    mos_for_jump,
+    run_user_study,
+    trace_jumps,
+)
+from .stats import cdf_points, histogram, mean, percentile, running_average
+from .thermal import PIXEL2_THERMAL_LIMIT_C, ThermalModel
+from .timeline import ResourceTimeline, TimelinePoint, build_timeline
+from .utilization import CpuModel
+
+__all__ = [
+    "BATTERY_WH",
+    "CpuModel",
+    "FrameRecord",
+    "MOS_LABELS",
+    "MetricsCollector",
+    "PIXEL2_THERMAL_LIMIT_C",
+    "PowerModel",
+    "ResourceTimeline",
+    "TimelinePoint",
+    "SessionMetrics",
+    "TARGET_FRAME_MS",
+    "ThermalModel",
+    "UserStudyResult",
+    "cdf_points",
+    "histogram",
+    "mean",
+    "mos_for_jump",
+    "percentile",
+    "run_user_study",
+    "build_timeline",
+    "running_average",
+    "trace_jumps",
+]

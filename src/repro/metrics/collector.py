@@ -1,0 +1,138 @@
+"""Per-frame metric collection for a client session.
+
+Each rendering interval the session records a :class:`FrameRecord`; the
+collector aggregates them into the quantities the paper's tables report:
+FPS, inter-frame latency, responsiveness (motion-to-photon), per-frame
+sizes, network delay, and CPU/GPU utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .stats import mean
+
+TARGET_FRAME_MS = 1000.0 / 60.0
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything measured about one displayed frame."""
+
+    t_ms: float  # display timestamp
+    interval_ms: float  # time since the previous displayed frame
+    render_ms: float  # GPU render time spent this frame
+    responsiveness_ms: float  # motion-to-photon latency
+    net_delay_ms: float = 0.0  # network delay on this frame's critical path
+    frame_bytes: int = 0  # wire size of any frame fetched this interval
+    cache_hit: Optional[bool] = None  # far-BE cache outcome (None: no cache)
+    displayed_ssim: Optional[float] = None  # vs. reference, when computed
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        if self.render_ms < 0 or self.responsiveness_ms < 0 or self.net_delay_ms < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+@dataclass
+class SessionMetrics:
+    """Aggregated per-player results (one row of Table 1/7/8)."""
+
+    fps: float
+    inter_frame_ms: float
+    responsiveness_ms: float
+    net_delay_ms: float
+    frame_kb: float
+    gpu_utilization: float
+    cpu_utilization: float
+    cache_hit_ratio: Optional[float]
+    mean_ssim: Optional[float]
+    frames: int
+
+
+class MetricsCollector:
+    """Accumulates frame records and computes session aggregates."""
+
+    def __init__(self) -> None:
+        self.records: List[FrameRecord] = []
+
+    def add(self, record: FrameRecord) -> None:
+        """Record one displayed frame."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+
+    def fps(self) -> float:
+        """Average frame rate, capped at the 60 Hz display refresh."""
+        if not self.records:
+            raise ValueError("no frames recorded")
+        avg_interval = mean([r.interval_ms for r in self.records])
+        return min(60.0, 1000.0 / avg_interval)
+
+    def inter_frame_ms(self) -> float:
+        """Mean display interval."""
+        return mean([r.interval_ms for r in self.records])
+
+    def responsiveness_ms(self) -> float:
+        """Mean motion-to-photon latency."""
+        return mean([r.responsiveness_ms for r in self.records])
+
+    def net_delay_ms(self) -> float:
+        """Average network delay over frames that actually used the net."""
+        delays = [r.net_delay_ms for r in self.records if r.frame_bytes > 0]
+        if not delays:
+            return 0.0
+        return mean(delays)
+
+    def mean_frame_kb(self) -> float:
+        """Mean wire size of fetched frames, in kilobytes."""
+        sizes = [r.frame_bytes for r in self.records if r.frame_bytes > 0]
+        if not sizes:
+            return 0.0
+        return mean(sizes) / 1000.0
+
+    def gpu_utilization(self) -> float:
+        """GPU busy fraction over the session."""
+        if not self.records:
+            raise ValueError("no frames recorded")
+        busy = sum(r.render_ms for r in self.records)
+        horizon = sum(r.interval_ms for r in self.records)
+        return min(1.0, busy / horizon)
+
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Cache hit ratio, or None when no cache was in play."""
+        outcomes = [r.cache_hit for r in self.records if r.cache_hit is not None]
+        if not outcomes:
+            return None
+        return sum(outcomes) / len(outcomes)
+
+    def mean_ssim(self) -> Optional[float]:
+        """Mean displayed-frame SSIM over sampled frames, if any."""
+        values = [r.displayed_ssim for r in self.records if r.displayed_ssim is not None]
+        if not values:
+            return None
+        return mean(values)
+
+    def bytes_transferred(self) -> int:
+        """Total wire bytes fetched during the session."""
+        return sum(r.frame_bytes for r in self.records)
+
+    def summary(self, cpu_utilization: float) -> SessionMetrics:
+        """Aggregate into one SessionMetrics row."""
+        return SessionMetrics(
+            fps=self.fps(),
+            inter_frame_ms=self.inter_frame_ms(),
+            responsiveness_ms=self.responsiveness_ms(),
+            net_delay_ms=self.net_delay_ms(),
+            frame_kb=self.mean_frame_kb(),
+            gpu_utilization=self.gpu_utilization(),
+            cpu_utilization=cpu_utilization,
+            cache_hit_ratio=self.cache_hit_ratio(),
+            mean_ssim=self.mean_ssim(),
+            frames=len(self.records),
+        )

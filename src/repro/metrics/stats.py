@@ -1,0 +1,54 @@
+"""Small statistics helpers shared by the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (rejects empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return float(np.mean(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    return float(np.percentile(values, q))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction<=value) pairs, for plotting."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def running_average(values: Sequence[float], window: int) -> List[float]:
+    """Trailing-window moving average (shorter prefix windows included)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc += v
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+def histogram(values: Sequence[float], edges: Sequence[float]) -> List[int]:
+    """Counts per [edges[i], edges[i+1]) bin; last bin closed on the right."""
+    if len(edges) < 2:
+        raise ValueError("need at least 2 bin edges")
+    counts, _ = np.histogram(np.asarray(values, dtype=float), bins=np.asarray(edges))
+    return counts.tolist()

@@ -1,0 +1,62 @@
+"""Phone CPU utilization model.
+
+The paper reads CPU load from procfs (§7.3).  The measured pattern across
+systems (Tables 1 and 8): network packet processing scales with Mbps
+(Furion's motivation: 4 Gbps would need "16 equivalent cores"), video
+decode adds a steady share while streaming, local game logic and the
+render-driver add bases, and Coterie's cache/prefetch bookkeeping adds its
+own share.  We model CPU as a sum of those calibrated terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Calibrated CPU-share terms (fractions of total phone CPU)."""
+
+    game_logic: float = 0.08  # engine + input + physics baseline
+    render_driver_per_gpu: float = 0.06  # driver cost tracks GPU busy share
+    decode_active: float = 0.055  # MediaCodec orchestration while decoding
+    per_mbps: float = 0.00045  # packet processing per Mbps of traffic
+    cache_management: float = 0.075  # frame cache + prefetcher bookkeeping
+    sync_per_player: float = 0.004  # PUN serialization per remote player
+
+    def __post_init__(self) -> None:
+        values = (
+            self.game_logic,
+            self.render_driver_per_gpu,
+            self.decode_active,
+            self.per_mbps,
+            self.cache_management,
+            self.sync_per_player,
+        )
+        if any(v < 0 for v in values):
+            raise ValueError("CPU model terms must be non-negative")
+
+    def utilization(
+        self,
+        gpu_utilization: float,
+        net_mbps: float = 0.0,
+        decoding: bool = False,
+        cache_enabled: bool = False,
+        n_players: int = 1,
+    ) -> float:
+        """Total CPU fraction in [0, 1]."""
+        if not 0.0 <= gpu_utilization <= 1.0:
+            raise ValueError("gpu_utilization must be in [0, 1]")
+        if net_mbps < 0:
+            raise ValueError("net_mbps must be non-negative")
+        if n_players < 1:
+            raise ValueError("n_players must be >= 1")
+        total = self.game_logic
+        total += self.render_driver_per_gpu * gpu_utilization
+        total += self.per_mbps * net_mbps
+        if decoding:
+            total += self.decode_active
+        if cache_enabled:
+            total += self.cache_management
+        total += self.sync_per_player * (n_players - 1)
+        return min(1.0, total)

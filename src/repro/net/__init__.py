@@ -1,0 +1,6 @@
+"""Network substrate: shared 802.11ac link and PUN-like FI sync."""
+
+from .link import MBIT, WifiLink
+from .pun import PunChannel, PunConfig
+
+__all__ = ["MBIT", "PunChannel", "PunConfig", "WifiLink"]

@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate (engine + shared resources)."""
+
+from .engine import Event, SimulationError, Simulator, all_of
+from .resources import FluidShareServer, Queue, Semaphore
+
+__all__ = [
+    "Event",
+    "FluidShareServer",
+    "Queue",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "all_of",
+]

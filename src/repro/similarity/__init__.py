@@ -1,0 +1,20 @@
+"""Frame-similarity metrics (SSIM and the paper's locality statistics)."""
+
+from .metrics import (
+    adjacent_similarities,
+    best_case_similarities,
+    fraction_above,
+    similarity_cdf,
+)
+from .ssim import SSIM_GOOD, is_similar, ssim, ssim_map
+
+__all__ = [
+    "SSIM_GOOD",
+    "adjacent_similarities",
+    "best_case_similarities",
+    "fraction_above",
+    "is_similar",
+    "similarity_cdf",
+    "ssim",
+    "ssim_map",
+]

@@ -1,0 +1,76 @@
+"""Structural Similarity (SSIM), Wang et al. 2004.
+
+The paper uses SSIM as the *de facto* frame-similarity metric, with 0.90 as
+the "good visual quality" threshold (from Kahawai's human-subject study).
+Everything that decides whether a cached far-BE frame may be reused — the
+dist_thresh binary search, the similarity CDFs of Figs. 1/2/5 — runs
+through this implementation.
+
+Standard formulation: luminance/contrast/structure comparisons over a
+gaussian-weighted sliding window (sigma 1.5, 11x11 support), stabilised by
+C1 = (K1 L)^2 and C2 = (K2 L)^2 with K1=0.01, K2=0.03.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+# The reuse threshold from the paper (SSIM > 0.90 => "good" visual quality).
+SSIM_GOOD = 0.90
+
+_K1 = 0.01
+_K2 = 0.03
+_SIGMA = 1.5
+# 11-tap support like the reference implementation: truncate at 5 sigma-units.
+_TRUNCATE = 5.0 / _SIGMA
+
+
+def _validate_pair(a: np.ndarray, b: np.ndarray) -> None:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("SSIM operates on 2D luminance frames")
+    if a.shape != b.shape:
+        raise ValueError(f"frame shapes differ: {a.shape} vs {b.shape}")
+    if a.shape[0] < 4 or a.shape[1] < 4:
+        raise ValueError("frames too small for windowed SSIM")
+
+
+def ssim_map(
+    a: np.ndarray, b: np.ndarray, data_range: float = 1.0
+) -> np.ndarray:
+    """Per-pixel SSIM index map between two luminance frames."""
+    _validate_pair(a, b)
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+    x = a.astype(np.float64)
+    y = b.astype(np.float64)
+    c1 = (_K1 * data_range) ** 2
+    c2 = (_K2 * data_range) ** 2
+
+    blur = lambda img: gaussian_filter(img, sigma=_SIGMA, truncate=_TRUNCATE)
+    mu_x = blur(x)
+    mu_y = blur(y)
+    mu_x_sq = mu_x * mu_x
+    mu_y_sq = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    sigma_x_sq = blur(x * x) - mu_x_sq
+    sigma_y_sq = blur(y * y) - mu_y_sq
+    sigma_xy = blur(x * y) - mu_xy
+
+    numerator = (2.0 * mu_xy + c1) * (2.0 * sigma_xy + c2)
+    denominator = (mu_x_sq + mu_y_sq + c1) * (sigma_x_sq + sigma_y_sq + c2)
+    return numerator / denominator
+
+
+def ssim(a: np.ndarray, b: np.ndarray, data_range: float = 1.0) -> float:
+    """Mean SSIM between two luminance frames (1.0 = identical)."""
+    return float(ssim_map(a, b, data_range).mean())
+
+
+def is_similar(
+    a: np.ndarray, b: np.ndarray, threshold: float = SSIM_GOOD
+) -> bool:
+    """Whether two frames pass the paper's reuse-quality bar."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    return ssim(a, b) > threshold

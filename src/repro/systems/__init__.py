@@ -1,0 +1,29 @@
+"""End-to-end systems: Mobile, Thin-client, Multi-Furion, Coterie."""
+
+from .base import (
+    SENSOR_SCANOUT_MS,
+    PlayerResult,
+    RunResult,
+    Session,
+    SessionConfig,
+)
+from .coterie import run_coterie
+from .experiment import SYSTEMS, prepare_artifacts, run_system
+from .mobile import run_mobile
+from .multi_furion import run_multi_furion
+from .thin_client import run_thin_client
+
+__all__ = [
+    "PlayerResult",
+    "RunResult",
+    "SENSOR_SCANOUT_MS",
+    "SYSTEMS",
+    "Session",
+    "SessionConfig",
+    "prepare_artifacts",
+    "run_coterie",
+    "run_mobile",
+    "run_multi_furion",
+    "run_system",
+    "run_thin_client",
+]

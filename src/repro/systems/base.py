@@ -1,0 +1,192 @@
+"""Shared scaffolding for the end-to-end system simulations.
+
+Each system (Mobile, Thin-client, Multi-Furion, Coterie) simulates N phones
+sharing one 802.11ac link for a fixed game-play duration, producing the
+per-player metrics of Tables 1/7/8 and the aggregate network/resource
+numbers of Table 9 and Fig. 12.
+
+The per-frame loop is a discrete-event process per player: modeled task
+latencies (render, decode, sync) combine with *actual* simulated network
+transfers through Eq. 2, then vsync-quantize into the display interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..codec import CodecTiming, FrameCodec
+from ..metrics import (
+    CpuModel,
+    MetricsCollector,
+    PowerModel,
+    SessionMetrics,
+    ThermalModel,
+)
+from ..net import PunChannel, WifiLink
+from ..render import PIXEL2, DeviceProfile, RenderConfig, RenderCostModel
+from ..sim import Simulator
+from ..trace import Trajectory, generate_party
+from ..world.games import GameWorld
+
+SENSOR_SCANOUT_MS = 0.5  # pose sampling + display scanout overhead
+
+
+@dataclass
+class SessionConfig:
+    """Knobs shared by every system run."""
+
+    duration_s: float = 20.0
+    seed: int = 0
+    device: DeviceProfile = PIXEL2
+    render_config: RenderConfig = field(default_factory=RenderConfig)
+    codec_crf: float = 25.0
+    wifi_mbps: float = 500.0
+    wifi_overhead_ms: float = 1.5
+    render_frames: bool = False  # True: full-fidelity frames (slow)
+    cache_capacity_bytes: int = 512 * 1024 * 1024
+    cache_policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.wifi_mbps <= 0:
+            raise ValueError("wifi_mbps must be positive")
+
+
+@dataclass
+class PlayerResult:
+    """One player's aggregated session outcome."""
+
+    player_id: int
+    metrics: SessionMetrics
+    fetches: int
+    power_w: float
+    temperature_c: float
+    # SSIM across each far-BE source switch (full-fidelity Coterie runs
+    # only); feeds the §7.4 user-study model.
+    switch_ssims: List[float] = field(default_factory=list)
+
+
+@dataclass
+class RunResult:
+    """A complete multi-player run of one system on one game."""
+
+    system: str
+    game: str
+    n_players: int
+    duration_s: float
+    players: List[PlayerResult]
+    be_mbps: float  # aggregate BE traffic over the air
+    fi_kbps: float  # aggregate FI sync traffic
+    link_utilization: float
+
+    @property
+    def mean_fps(self) -> float:
+        return float(np.mean([p.metrics.fps for p in self.players]))
+
+    @property
+    def mean_inter_frame_ms(self) -> float:
+        return float(np.mean([p.metrics.inter_frame_ms for p in self.players]))
+
+    @property
+    def mean_responsiveness_ms(self) -> float:
+        return float(np.mean([p.metrics.responsiveness_ms for p in self.players]))
+
+    @property
+    def mean_cache_hit_ratio(self) -> Optional[float]:
+        ratios = [
+            p.metrics.cache_hit_ratio
+            for p in self.players
+            if p.metrics.cache_hit_ratio is not None
+        ]
+        if not ratios:
+            return None
+        return float(np.mean(ratios))
+
+    def per_player_be_mbps(self) -> float:
+        """Average BE traffic attributable to one player."""
+        return self.be_mbps / self.n_players
+
+
+class Session:
+    """Simulation context shared by one run's player processes."""
+
+    def __init__(self, world: GameWorld, n_players: int, config: SessionConfig):
+        if n_players < 1:
+            raise ValueError("n_players must be >= 1")
+        self.world = world
+        self.n_players = n_players
+        self.config = config
+        self.sim = Simulator()
+        self.link = WifiLink(
+            self.sim,
+            capacity_mbps=config.wifi_mbps,
+            overhead_ms=config.wifi_overhead_ms,
+            stations=n_players,
+        )
+        self.pun = PunChannel(
+            self.sim, self.link, n_players, seed=config.seed + 77
+        )
+        self.cost_model = RenderCostModel(config.device)
+        self.codec = FrameCodec(crf=config.codec_crf)
+        self.codec_timing = CodecTiming()
+        self.trajectories: List[Trajectory] = generate_party(
+            world, n_players, config.duration_s, seed=config.seed
+        )
+        self.collectors = [MetricsCollector() for _ in range(n_players)]
+        self.fi_ms = self.cost_model.fi_ms(world.spec.fi_triangles)
+        self.horizon_ms = config.duration_s * 1000.0
+
+    def position_at(self, player: int, t_ms: float):
+        """Time-indexed trajectory lookup (players move in real time even
+        when the display runs below 60 FPS)."""
+        trajectory = self.trajectories[player]
+        index = min(len(trajectory) - 1, max(0, int(t_ms / (1000.0 / 60.0))))
+        return trajectory[index]
+
+    def finish(
+        self,
+        system: str,
+        cpu_per_player: List[float],
+        switch_ssims: Optional[List[List[float]]] = None,
+    ) -> RunResult:
+        """Aggregate collected metrics once the simulation has drained."""
+        horizon = self.horizon_ms
+        be_mbps = self.link.bandwidth_mbps("be", horizon)
+        fi_kbps = self.link.bandwidth_mbps("fi", horizon) * 1000.0
+        power_model = PowerModel()
+        players = []
+        for player_id, collector in enumerate(self.collectors):
+            metrics = collector.summary(cpu_utilization=cpu_per_player[player_id])
+            net_share = be_mbps / self.n_players
+            power = power_model.draw_w(
+                metrics.cpu_utilization, metrics.gpu_utilization, net_share
+            )
+            thermal = ThermalModel()
+            for _ in range(int(self.config.duration_s) + 1):
+                thermal.step(power, dt_s=1.0)
+            players.append(
+                PlayerResult(
+                    player_id=player_id,
+                    metrics=metrics,
+                    fetches=sum(1 for r in collector.records if r.frame_bytes > 0),
+                    power_w=power,
+                    temperature_c=thermal.temperature_c,
+                    switch_ssims=(
+                        switch_ssims[player_id] if switch_ssims else []
+                    ),
+                )
+            )
+        return RunResult(
+            system=system,
+            game=self.world.name,
+            n_players=self.n_players,
+            duration_s=self.config.duration_s,
+            players=players,
+            be_mbps=be_mbps,
+            fi_kbps=fi_kbps,
+            link_utilization=self.link.utilization(horizon),
+        )

@@ -1,0 +1,207 @@
+"""The Coterie system (§5): 3-layer rendering with far-BE frame caching.
+
+Each client renders FI and near BE locally, decodes a prefetched panoramic
+far-BE frame, and consults its frame cache before touching the network —
+the cache absorbs ~80 % of prefetches (Table 6), which is what lets four
+players share one 802.11ac link at a steady 60 FPS (Fig. 11).
+
+Two fidelity modes:
+
+* **emulated** (default) — frame *sizes* come from the calibrated size
+  model and no pixels are rasterized; cache behaviour, latency, FPS,
+  bandwidth, CPU/GPU are all exact (the cache outcome "is determined by
+  the frame locations", §4.6).
+* **full** (``config.render_frames``) — far-BE frames are really rendered,
+  encoded, decoded, and merged with the locally rendered near BE and FI;
+  displayed-frame SSIM against the all-local reference is sampled every
+  ``ssim_stride`` frames, and far-BE switch SSIMs are recorded for the
+  user-study model (Tables 7 and 10).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.cache import FrameCache
+from ..core.pipeline import PipelineTimings, frame_interval_ms
+from ..core.prefetch import Prefetcher
+from ..core.preprocess import OfflineArtifacts, PanoramaStore
+from ..metrics import CpuModel, FrameRecord
+from ..render.splitter import eye_at, reference_frame, render_fi, render_near_be
+from ..similarity import ssim
+from ..trace import avatars_at
+from ..world.games import GameWorld
+from .base import SENSOR_SCANOUT_MS, RunResult, Session, SessionConfig
+
+
+def run_coterie(
+    world: GameWorld,
+    n_players: int,
+    config: SessionConfig,
+    artifacts: OfflineArtifacts,
+    use_cache: bool = True,
+    ssim_stride: int = 25,
+    overhear: bool = False,
+) -> RunResult:
+    """Simulate N Coterie players sharing one WiFi link.
+
+    ``use_cache`` False gives Fig. 11's "Coterie w/o cache" variant: far-BE
+    frames are still smaller than whole-BE frames, but every interval
+    fetches from the server.
+
+    ``overhear`` enables the inter-player variant the paper evaluated and
+    *rejected* (§4.6 Version 5): every server reply is overheard and
+    admitted into all players' caches.  Kept as an extension so the
+    "adds almost nothing over self-reuse" conclusion is testable at the
+    full-system level.
+    """
+    if ssim_stride < 1:
+        raise ValueError("ssim_stride must be >= 1")
+    session = Session(world, n_players, config)
+    sim = session.sim
+    store = PanoramaStore(
+        world,
+        config.render_config,
+        session.codec,
+        cutoff_map=artifacts.cutoff_map,
+        kind="far",
+        eye_height=world.spec.player.eye_height,
+        render_frames=config.render_frames,
+        size_model=None if config.render_frames else artifacts.far_size_model,
+    )
+    caches = [
+        FrameCache(
+            capacity_bytes=config.cache_capacity_bytes, policy=config.cache_policy
+        )
+        for _ in range(n_players)
+    ]
+    prefetchers = [
+        Prefetcher(
+            world.scene,
+            world.grid,
+            artifacts.cutoff_map,
+            artifacts.dist_thresh_map,
+            caches[player_id],
+        )
+        for player_id in range(n_players)
+    ]
+    switch_ssims: List[List[float]] = [[] for _ in range(n_players)]
+    last_far = [None] * n_players
+    frame_counters = [0] * n_players
+
+    def client(player_id: int):
+        prefetcher = prefetchers[player_id]
+        while sim.now < session.horizon_ms:
+            t0 = sim.now
+            sample = session.position_at(player_id, t0)
+            decision = prefetcher.plan(sample.position, sample.heading, t0)
+
+            frame_bytes = 0
+            transfer_ms = 0.0
+            if decision.needs_fetch or not use_cache:
+                stored = store.frame_for(decision.grid_point)
+                frame_bytes = stored.wire_bytes
+                transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
+                cached = prefetcher.admit(
+                    decision, stored, frame_bytes, t0, origin_player=player_id
+                )
+                if overhear:
+                    for other in range(n_players):
+                        if other != player_id:
+                            prefetchers[other].admit(
+                                decision, stored, frame_bytes, t0,
+                                origin_player=player_id,
+                            )
+            else:
+                cached = decision.cached
+
+            near_ms = session.cost_model.near_be_ms(
+                world.scene, sample.position, decision.cutoff_radius
+            )
+            session.pun.tick()
+            timings = PipelineTimings(
+                render_fi_ms=session.fi_ms,
+                render_near_be_ms=near_ms,
+                decode_ms=session.cost_model.decode_ms(3840, 2160),
+                prefetch_ms=transfer_ms,
+                sync_ms=session.pun.sync_latency_ms(),
+                merge_ms=config.device.merge_ms,
+                setup_ms=config.device.setup_ms,
+            )
+            interval = frame_interval_ms(timings)
+
+            displayed_ssim = None
+            if config.render_frames:
+                payload = cached.payload
+                far_image = payload.decoded if payload is not None else None
+                if far_image is not None:
+                    if last_far[player_id] is not None and (
+                        far_image is not last_far[player_id]
+                    ):
+                        switch_ssims[player_id].append(
+                            ssim(last_far[player_id], far_image)
+                        )
+                    last_far[player_id] = far_image
+                    if frame_counters[player_id] % ssim_stride == 0:
+                        displayed_ssim = _displayed_ssim(
+                            session, world, player_id, sample, decision, far_image
+                        )
+            frame_counters[player_id] += 1
+
+            session.collectors[player_id].add(
+                FrameRecord(
+                    t_ms=t0 + interval,
+                    interval_ms=interval,
+                    render_ms=timings.render_ms - timings.setup_ms + timings.merge_ms,
+                    responsiveness_ms=timings.split_render_ms() + SENSOR_SCANOUT_MS,
+                    net_delay_ms=transfer_ms,
+                    frame_bytes=frame_bytes,
+                    cache_hit=not decision.needs_fetch if use_cache else None,
+                    displayed_ssim=displayed_ssim,
+                )
+            )
+            remaining = interval - transfer_ms
+            if remaining > 0:
+                yield remaining
+
+    def _displayed_ssim(session, world, player_id, sample, decision, far_image):
+        """SSIM of the actually displayed frame vs. the all-local reference."""
+        eye = eye_at(world.scene, sample.position, world.spec.player.eye_height)
+        positions = [
+            session.position_at(other, sim.now).position
+            for other in range(n_players)
+        ]
+        avatars = avatars_at(world, positions, exclude_player=player_id)
+        near = render_near_be(
+            world.scene, eye, config.render_config, decision.cutoff_radius
+        )
+        fi_layer = render_fi(avatars, eye, config.render_config)
+        from ..render.rasterizer import merge_layers
+        from ..core.merger import layer_from_decoded
+
+        displayed = merge_layers(layer_from_decoded(far_image), near, fi_layer)
+        reference = reference_frame(
+            world.scene, eye, config.render_config, avatars=avatars
+        )
+        return ssim(displayed, reference)
+
+    for player_id in range(n_players):
+        sim.spawn(client(player_id))
+    sim.run_until(session.horizon_ms)
+
+    cpu_model = CpuModel()
+    be_mbps = session.link.bandwidth_mbps("be", session.horizon_ms)
+    cpu = [
+        cpu_model.utilization(
+            gpu_utilization=session.collectors[p].gpu_utilization(),
+            net_mbps=be_mbps / n_players,
+            decoding=True,
+            cache_enabled=use_cache,
+            n_players=n_players,
+        )
+        for p in range(n_players)
+    ]
+    name = "coterie" if use_cache else "coterie_nocache"
+    if overhear:
+        name = "coterie_overhear"
+    return session.finish(name, cpu, switch_ssims=switch_ssims)

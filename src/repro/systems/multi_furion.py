@@ -1,0 +1,133 @@
+"""Multi-Furion: the replicated 2-layer split-rendering architecture (§3).
+
+Each client renders FI locally, decodes the previously prefetched
+*whole-BE* panorama, prefetches the next grid point's panorama from the
+server, and syncs FI through PUN — Furion's pipeline replicated N-fold.
+The prefetch happens every rendering interval (a fresh BE frame per grid
+point), so aggregate BE traffic grows linearly with players and the shared
+medium becomes the bottleneck: ~276 Mbps per player means two players
+already push the inter-frame latency past the 16.7 ms budget (Table 1).
+
+``exact_cache`` adds Fig. 11's "Multi-Furion with cache" variant: clients
+cache whole-BE frames and reuse *exact* grid-point matches — which almost
+never hit, because players do not revisit exact grid points (§4.6,
+Version 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cache import CachedFrame, FrameCache
+from ..core.pipeline import PipelineTimings, frame_interval_ms
+from ..core.preprocess import FrameSizeModel, calibrate_size_model
+from ..metrics import CpuModel, FrameRecord
+from ..world.games import GameWorld
+from .base import SENSOR_SCANOUT_MS, RunResult, Session, SessionConfig
+
+_WHOLE_LEAF = (0.0, 0.0, 0.0, 0.0)  # whole-BE frames have no leaf regions
+
+
+def run_multi_furion(
+    world: GameWorld,
+    n_players: int,
+    config: SessionConfig,
+    exact_cache: bool = False,
+    size_model: Optional[FrameSizeModel] = None,
+) -> RunResult:
+    """Simulate N players under the replicated Furion architecture."""
+    session = Session(world, n_players, config)
+    sim = session.sim
+    if size_model is None:
+        size_model = calibrate_size_model(
+            world, config.render_config, session.codec, None, kind="whole",
+            samples=6, seed=config.seed + 6,
+            eye_height=world.spec.player.eye_height,
+        )
+    caches = [
+        FrameCache(
+            capacity_bytes=config.cache_capacity_bytes,
+            policy=config.cache_policy,
+            exact_only=True,
+        )
+        if exact_cache
+        else None
+        for _ in range(n_players)
+    ]
+
+    def client(player_id: int):
+        cache = caches[player_id]
+        while sim.now < session.horizon_ms:
+            t0 = sim.now
+            sample = session.position_at(player_id, t0)
+            grid_point = session.world.grid.snap(sample.position)
+            snapped = session.world.grid.to_world(grid_point)
+
+            hit = None
+            if cache is not None:
+                hit = cache.lookup(
+                    grid_point, snapped, _WHOLE_LEAF, frozenset(), 0.0, t0
+                )
+            frame_bytes = 0
+            transfer_ms = 0.0
+            if hit is None:
+                frame_bytes = size_model.sample(grid_point)
+                transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
+                if cache is not None:
+                    cache.insert(
+                        CachedFrame(
+                            grid_point=grid_point,
+                            position=snapped,
+                            leaf=_WHOLE_LEAF,
+                            near_ids=frozenset(),
+                            payload=None,
+                            size_bytes=frame_bytes,
+                            inserted_ms=t0,
+                            last_used_ms=t0,
+                            origin_player=player_id,
+                        )
+                    )
+            session.pun.tick()
+            timings = PipelineTimings(
+                render_fi_ms=session.fi_ms,
+                render_near_be_ms=0.0,
+                decode_ms=session.cost_model.decode_ms(3840, 2160),
+                prefetch_ms=transfer_ms,
+                sync_ms=session.pun.sync_latency_ms(),
+                merge_ms=config.device.merge_ms,
+                setup_ms=config.device.setup_ms,
+            )
+            interval = frame_interval_ms(timings)
+            session.collectors[player_id].add(
+                FrameRecord(
+                    t_ms=t0 + interval,
+                    interval_ms=interval,
+                    render_ms=timings.render_ms - timings.setup_ms + timings.merge_ms,
+                    responsiveness_ms=timings.split_render_ms() + SENSOR_SCANOUT_MS,
+                    net_delay_ms=transfer_ms,
+                    frame_bytes=frame_bytes,
+                    cache_hit=(hit is not None) if cache is not None else None,
+                )
+            )
+            remaining = interval - transfer_ms
+            if remaining > 0:
+                yield remaining
+
+    for player_id in range(n_players):
+        sim.spawn(client(player_id))
+    sim.run_until(session.horizon_ms)
+
+    cpu_model = CpuModel()
+    be_mbps = session.link.bandwidth_mbps("be", session.horizon_ms)
+    cpu = [
+        cpu_model.utilization(
+            gpu_utilization=session.collectors[p].gpu_utilization(),
+            net_mbps=be_mbps / n_players,
+            decoding=True,
+            cache_enabled=exact_cache,
+            n_players=n_players,
+        )
+        for p in range(n_players)
+    ]
+    name = "multi_furion_cache" if exact_cache else "multi_furion"
+    return session.finish(name, cpu)

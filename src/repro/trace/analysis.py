@@ -1,0 +1,81 @@
+"""Movement-trace analysis.
+
+Quantifies the locomotion properties the paper's caching results rest on:
+speed, grid-point churn (how often a new panoramic frame is needed),
+self-revisit rate (why exact matching fails, §4.6), and pairwise path
+overlap (why inter-player exact reuse fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..geometry import WorldGrid
+from .trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one movement trace."""
+
+    duration_s: float
+    path_length_m: float
+    mean_speed_mps: float
+    grid_crossings: int  # distinct-grid-point transitions
+    crossings_per_second: float
+    revisit_rate: float  # fraction of crossings landing on a seen point
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+
+def analyze_trace(trajectory: Trajectory, grid: WorldGrid) -> TraceStats:
+    """Compute a trace's movement statistics against a world grid."""
+    duration_s = max(trajectory.duration_ms / 1000.0, 1e-9)
+    path = trajectory.path_length()
+    crossings = 0
+    revisits = 0
+    seen = set()
+    previous = None
+    for sample in trajectory.samples:
+        gp = grid.snap(sample.position)
+        if gp != previous:
+            if previous is not None:
+                crossings += 1
+                if gp in seen:
+                    revisits += 1
+            seen.add(gp)
+            previous = gp
+    return TraceStats(
+        duration_s=duration_s,
+        path_length_m=path,
+        mean_speed_mps=path / duration_s,
+        grid_crossings=crossings,
+        crossings_per_second=crossings / duration_s,
+        revisit_rate=revisits / crossings if crossings else 0.0,
+    )
+
+
+def path_overlap(a: Trajectory, b: Trajectory, grid: WorldGrid) -> float:
+    """Fraction of A's distinct grid points that B also visits.
+
+    The §4.6 observation behind cache Version 2's zero hit rate: "even for
+    VR games with high player movement locality, the trajectories of
+    different players rarely overlap exactly".
+    """
+    points_a = set(a.distinct_grid_points(grid))
+    if not points_a:
+        return 0.0
+    points_b = set(b.distinct_grid_points(grid))
+    return len(points_a & points_b) / len(points_a)
+
+
+def prefetch_demand_hz(trajectory: Trajectory, grid: WorldGrid) -> float:
+    """Panoramic-frame demand without caching: new frames per second.
+
+    This is the rate Furion must fetch at — multiplying it by the frame
+    size gives Table 9's Multi-Furion bandwidth.
+    """
+    return analyze_trace(trajectory, grid).crossings_per_second

@@ -1,0 +1,86 @@
+"""Foreground interactions: the content rendered locally every frame.
+
+FI is "triggered by players operating the controller or signals from other
+players" (§2.2): avatars/vehicles of all players plus transient action
+effects.  For rendering, each player's FI materializes as scene objects at
+the players' current positions; for the render-cost model, its triangle
+budget is the game's ``fi_triangles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geometry import Vec2, Vec3
+from ..world.games import GameWorld
+from ..world.objects import SceneObject
+
+# Reserved id space so FI objects never collide with scene object ids.
+_FI_ID_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class FiEvent:
+    """A transient foreground action (shot fired, ball hit, horn...)."""
+
+    t_ms: float
+    player_id: int
+    kind: str
+
+
+def avatars_at(
+    world: GameWorld, positions: Sequence[Vec2], exclude_player: int = -1
+) -> List[SceneObject]:
+    """FI avatar objects for every player at their current positions.
+
+    ``exclude_player`` omits the local player (you do not see your own
+    avatar, only your hands/vehicle cockpit — which is part of the FI
+    budget but not of the world geometry).
+    """
+    is_racing = world.track is not None
+    avatars = []
+    for player_id, position in enumerate(positions):
+        if player_id == exclude_player:
+            continue
+        radius = 2.0 if is_racing else 0.5
+        luminance = 0.72 if is_racing else 0.62
+        z = world.terrain(position) + radius
+        avatars.append(
+            SceneObject(
+                object_id=_FI_ID_BASE + player_id,
+                kind_name="car" if is_racing else "person",
+                center=Vec3(position.x, position.y, z),
+                radius=radius,
+                triangles=world.spec.fi_triangles // max(1, len(positions)),
+                luminance=luminance,
+                contrast=0.3,
+                texture_seed=9000 + player_id,
+            )
+        )
+    return avatars
+
+
+def generate_fi_events(
+    n_players: int, duration_s: float, seed: int, rate_hz: float = 0.8
+) -> List[FiEvent]:
+    """A Poisson stream of controller actions per player.
+
+    Rate defaults to roughly one action per player per 1.25 s — the
+    shooting/hitting cadence of the study games.
+    """
+    if n_players < 1 or duration_s <= 0 or rate_hz <= 0:
+        raise ValueError("invalid FI event parameters")
+    rng = np.random.default_rng(seed)
+    events: List[FiEvent] = []
+    for player_id in range(n_players):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1000.0 / rate_hz))
+            if t >= duration_s * 1000.0:
+                break
+            events.append(FiEvent(t_ms=t, player_id=player_id, kind="action"))
+    events.sort(key=lambda e: e.t_ms)
+    return events

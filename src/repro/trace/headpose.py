@@ -1,0 +1,76 @@
+"""Head orientation over time.
+
+After reaching a grid point "the player may change her head orientation
+which is hard to predict" (§2.2) — the reason panoramic frames are
+prefetched rather than FoV frames.  Head yaw follows the movement heading
+with an Ornstein-Uhlenbeck wander (players glance around); pitch is a
+small bounded wander around level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class HeadPose:
+    """Yaw/pitch at one trajectory sample (radians)."""
+
+    t_ms: float
+    yaw: float
+    pitch: float
+
+
+class HeadPoseModel:
+    """OU-process head wander anchored to the movement heading."""
+
+    def __init__(
+        self,
+        seed: int,
+        yaw_sigma: float = 0.35,
+        pitch_sigma: float = 0.10,
+        reversion_per_s: float = 1.8,
+        max_pitch: float = math.radians(35.0),
+    ) -> None:
+        if yaw_sigma < 0 or pitch_sigma < 0 or reversion_per_s <= 0:
+            raise ValueError("invalid head-pose parameters")
+        self.rng = np.random.default_rng(seed)
+        self.yaw_sigma = yaw_sigma
+        self.pitch_sigma = pitch_sigma
+        self.reversion_per_s = reversion_per_s
+        self.max_pitch = max_pitch
+        self._yaw_offset = 0.0
+        self._pitch = 0.0
+
+    def step(self, heading: float, dt_ms: float) -> HeadPose:
+        """Advance the wander by ``dt_ms`` anchored at ``heading``."""
+        dt = dt_ms / 1000.0
+        k = min(1.0, self.reversion_per_s * dt)
+        noise = math.sqrt(max(dt, 1e-9))
+        self._yaw_offset += -k * self._yaw_offset + self.yaw_sigma * noise * float(
+            self.rng.normal()
+        )
+        self._pitch += -k * self._pitch + self.pitch_sigma * noise * float(
+            self.rng.normal()
+        )
+        self._pitch = max(-self.max_pitch, min(self.max_pitch, self._pitch))
+        return HeadPose(t_ms=0.0, yaw=heading + self._yaw_offset, pitch=self._pitch)
+
+
+def head_poses_for(trajectory: Trajectory, seed: int) -> List[HeadPose]:
+    """A head pose per trajectory sample, anchored to movement heading."""
+    model = HeadPoseModel(seed)
+    poses = []
+    previous_t = None
+    for sample in trajectory.samples:
+        dt_ms = 16.7 if previous_t is None else sample.t_ms - previous_t
+        previous_t = sample.t_ms
+        pose = model.step(sample.heading, dt_ms)
+        poses.append(HeadPose(t_ms=sample.t_ms, yaw=pose.yaw, pitch=pose.pitch))
+    return poses

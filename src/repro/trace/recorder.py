@@ -1,0 +1,61 @@
+"""Trace recording and replay.
+
+The paper's user study "first collected 6 single-player movement traces ...
+and then replayed the traces to the participants" (§7.4), and the caching
+experiments of §4.6 replay recorded multi-player traces.  This module
+serializes trajectories to plain JSON so experiments are replayable and
+diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..geometry import Vec2
+from .trajectory import Trajectory, TrajectorySample
+
+_FORMAT_VERSION = 1
+
+
+def trajectory_to_dict(trajectory: Trajectory) -> dict:
+    """JSON-ready form of one trajectory."""
+    return {
+        "version": _FORMAT_VERSION,
+        "player_id": trajectory.player_id,
+        "samples": [
+            [s.t_ms, s.position.x, s.position.y, s.heading]
+            for s in trajectory.samples
+        ],
+    }
+
+
+def trajectory_from_dict(payload: dict) -> Trajectory:
+    """Inverse of :func:`trajectory_to_dict`."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {payload.get('version')!r}")
+    samples = [
+        TrajectorySample(t_ms=t, position=Vec2(x, y), heading=heading)
+        for t, x, y, heading in payload["samples"]
+    ]
+    return Trajectory(samples, player_id=int(payload.get("player_id", 0)))
+
+
+def save_traces(
+    trajectories: List[Trajectory], path: Union[str, Path]
+) -> None:
+    """Write a list of player traces to a JSON file."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "traces": [trajectory_to_dict(t) for t in trajectories],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_traces(path: Union[str, Path]) -> List[Trajectory]:
+    """Read player traces back from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace file version {payload.get('version')!r}")
+    return [trajectory_from_dict(t) for t in payload["traces"]]

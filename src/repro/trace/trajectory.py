@@ -1,0 +1,118 @@
+"""Player trajectories: timestamped paths through the virtual world.
+
+Every similarity study in the paper starts from a recorded trajectory
+("we record the player trajectory in the virtual world during game play",
+§4.1), and the caching experiments replay them (§4.6, §7.4).  A
+:class:`Trajectory` is an immutable sequence of timestamped samples with
+the derived views the experiments need: grid-point sequences, distance
+subsampling, and proximity statistics between two players.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..geometry import GridPoint, Vec2, WorldGrid
+
+
+@dataclass(frozen=True)
+class TrajectorySample:
+    """One observation of a player: time, ground position, heading."""
+
+    t_ms: float
+    position: Vec2
+    heading: float  # movement direction, radians
+
+    def __post_init__(self) -> None:
+        if self.t_ms < 0:
+            raise ValueError("t_ms must be non-negative")
+
+
+class Trajectory:
+    """An ordered, time-increasing sequence of samples for one player."""
+
+    def __init__(self, samples: Sequence[TrajectorySample], player_id: int = 0) -> None:
+        if not samples:
+            raise ValueError("trajectory needs at least one sample")
+        times = [s.t_ms for s in samples]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("samples must be strictly time-increasing")
+        self.samples: Tuple[TrajectorySample, ...] = tuple(samples)
+        self.player_id = player_id
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> TrajectorySample:
+        return self.samples[index]
+
+    @property
+    def duration_ms(self) -> float:
+        return self.samples[-1].t_ms - self.samples[0].t_ms
+
+    def positions(self) -> List[Vec2]:
+        """Ground positions of every sample, in order."""
+        return [s.position for s in self.samples]
+
+    def path_length(self) -> float:
+        """Total ground distance travelled."""
+        positions = self.positions()
+        return sum(a.distance_to(b) for a, b in zip(positions, positions[1:]))
+
+    # ------------------------------------------------------------------
+    # Grid views
+    # ------------------------------------------------------------------
+
+    def grid_points(self, grid: WorldGrid) -> List[GridPoint]:
+        """The grid point under each sample (with repeats)."""
+        return [grid.snap(s.position) for s in self.samples]
+
+    def distinct_grid_points(self, grid: WorldGrid) -> List[GridPoint]:
+        """Grid points visited, consecutive duplicates collapsed.
+
+        This is the sequence of BE-frame viewpoints: a new panoramic frame
+        is needed each time the player crosses to a new grid point.
+        """
+        points: List[GridPoint] = []
+        for sample in self.samples:
+            gp = grid.snap(sample.position)
+            if not points or points[-1] != gp:
+                points.append(gp)
+        return points
+
+    # ------------------------------------------------------------------
+    # Subsampling
+    # ------------------------------------------------------------------
+
+    def subsample_by_distance(self, min_spacing: float) -> "Trajectory":
+        """Keep samples at least ``min_spacing`` metres apart (plus the
+        first), preserving order — used to bound offline rendering work."""
+        if min_spacing <= 0:
+            raise ValueError("min_spacing must be positive")
+        kept = [self.samples[0]]
+        for sample in self.samples[1:]:
+            if sample.position.distance_to(kept[-1].position) >= min_spacing:
+                kept.append(sample)
+        return Trajectory(kept, player_id=self.player_id)
+
+    def every_nth(self, n: int) -> "Trajectory":
+        """Keep every n-th sample (plus the first)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return Trajectory(self.samples[::n], player_id=self.player_id)
+
+
+def proximity_stats(a: Trajectory, b: Trajectory) -> Tuple[float, float]:
+    """(mean, max) distance between two players sampled index-aligned.
+
+    Quantifies the multiplayer movement proximity the paper observes for
+    outdoor group games (§4.1).
+    """
+    n = min(len(a), len(b))
+    if n == 0:
+        raise ValueError("empty trajectories")
+    distances = [
+        a[i].position.distance_to(b[i].position) for i in range(n)
+    ]
+    return sum(distances) / n, max(distances)

@@ -1,0 +1,127 @@
+"""Object-kind catalog for procedural scene generation.
+
+Unity scenes are built from *assets*; our procedural worlds are built from
+object kinds whose geometric complexity (triangle count), physical size,
+and shading (base luminance + texture contrast) drive everything downstream:
+render cost (Constraint 1 searches over triangle counts), frame appearance
+(SSIM), and compressed frame size (the codec sees the texture detail).
+
+Triangle counts are per-asset figures typical of mobile-targeted Unity
+assets: grass tufts and props are hundreds of triangles, trees are a few
+thousand, buildings tens of thousands, hero set-pieces (stadiums) hundreds
+of thousands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ObjectKind:
+    """A class of placeable scene object.
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    triangles:
+        (low, high) triangle-count range; generation draws uniformly.
+    radius:
+        (low, high) bounding-sphere radius range in metres.
+    luminance:
+        Base surface luminance in [0, 1] for the grayscale renderer.
+    contrast:
+        Texture contrast in [0, 1]; higher contrast costs more bits in
+        the codec and contributes more structure to SSIM.
+    grounded:
+        Whether the object sits on the terrain (True) or floats with its
+        centre at ``radius`` above ground anyway (all our kinds are
+        grounded; kept for extensions like birds/clouds).
+    """
+
+    name: str
+    triangles: Tuple[int, int]
+    radius: Tuple[float, float]
+    luminance: float
+    contrast: float
+    grounded: bool = True
+
+    def __post_init__(self) -> None:
+        lo_t, hi_t = self.triangles
+        lo_r, hi_r = self.radius
+        if lo_t <= 0 or hi_t < lo_t:
+            raise ValueError(f"bad triangle range for {self.name}: {self.triangles}")
+        if lo_r <= 0 or hi_r < lo_r:
+            raise ValueError(f"bad radius range for {self.name}: {self.radius}")
+        if not (0.0 <= self.luminance <= 1.0 and 0.0 <= self.contrast <= 1.0):
+            raise ValueError(f"luminance/contrast out of [0,1] for {self.name}")
+
+
+_CATALOG: Dict[str, ObjectKind] = {}
+
+
+def _register(kind: ObjectKind) -> ObjectKind:
+    if kind.name in _CATALOG:
+        raise ValueError(f"duplicate object kind {kind.name!r}")
+    _CATALOG[kind.name] = kind
+    return kind
+
+
+# Outdoor vegetation and props
+GRASS = _register(ObjectKind("grass", (120, 400), (0.2, 0.6), 0.35, 0.30))
+BUSH = _register(ObjectKind("bush", (400, 1500), (0.5, 1.2), 0.30, 0.35))
+TREE = _register(ObjectKind("tree", (1500, 6000), (1.5, 4.0), 0.28, 0.40))
+ROCK = _register(ObjectKind("rock", (300, 1200), (0.4, 2.0), 0.45, 0.25))
+CRATE = _register(ObjectKind("crate", (200, 600), (0.4, 0.8), 0.50, 0.20))
+FENCE = _register(ObjectKind("fence", (500, 1500), (1.0, 2.5), 0.40, 0.25))
+
+# Structures
+HUT = _register(ObjectKind("hut", (8000, 25000), (3.0, 6.0), 0.55, 0.30))
+HOUSE = _register(ObjectKind("house", (20000, 60000), (5.0, 10.0), 0.60, 0.30))
+LONGHOUSE = _register(ObjectKind("longhouse", (40000, 120000), (8.0, 15.0), 0.52, 0.35))
+STADIUM = _register(ObjectKind("stadium", (150000, 400000), (20.0, 40.0), 0.65, 0.30))
+TOWER = _register(ObjectKind("tower", (30000, 80000), (4.0, 8.0), 0.58, 0.30))
+
+# Hero set-pieces: single assets heavy enough that standing next to one
+# saturates a mobile GPU frame budget by itself (drives the smallest
+# cutoff radiuses the adaptive scheme produces).
+HALL = _register(ObjectKind("hall", (1500000, 4000000), (8.0, 14.0), 0.50, 0.35))
+GROVE = _register(ObjectKind("grove", (30000, 90000), (6.0, 12.0), 0.26, 0.40))
+# Distant scenery mass (mountain faces): single meshes heavy enough that a
+# racing world's whole-BE render stays expensive even though nothing is
+# near the track (Table 1: Racing Mobile runs at ~27 FPS).
+MOUNTAIN = _register(ObjectKind("mountain", (12000000, 30000000), (50.0, 90.0), 0.47, 0.30))
+
+# Vehicles / track-side
+CAR = _register(ObjectKind("car", (15000, 40000), (1.5, 2.5), 0.70, 0.35))
+BARRIER = _register(ObjectKind("barrier", (300, 900), (0.8, 1.5), 0.75, 0.20))
+BILLBOARD = _register(ObjectKind("billboard", (100, 300), (2.0, 4.0), 0.80, 0.45))
+GRANDSTAND = _register(ObjectKind("grandstand", (50000, 150000), (8.0, 18.0), 0.60, 0.35))
+PERSON = _register(ObjectKind("person", (5000, 15000), (0.4, 0.6), 0.62, 0.30))
+
+# Indoor furniture
+TABLE = _register(ObjectKind("table", (12000, 40000), (0.8, 1.5), 0.48, 0.25))
+CHAIR = _register(ObjectKind("chair", (8000, 25000), (0.4, 0.7), 0.45, 0.22))
+LAMP = _register(ObjectKind("lamp", (4000, 12000), (0.3, 0.6), 0.85, 0.20))
+PILLAR = _register(ObjectKind("pillar", (6000, 20000), (0.5, 1.0), 0.55, 0.15))
+BOOKCASE = _register(ObjectKind("bookcase", (30000, 90000), (1.0, 2.0), 0.42, 0.40))
+POOL_TABLE = _register(ObjectKind("pool_table", (60000, 160000), (1.5, 2.0), 0.35, 0.30))
+BOWLING_LANE = _register(ObjectKind("bowling_lane", (50000, 120000), (3.0, 6.0), 0.68, 0.25))
+WALL_PANEL = _register(ObjectKind("wall_panel", (2000, 8000), (1.5, 3.0), 0.58, 0.20))
+
+
+def kind(name: str) -> ObjectKind:
+    """Look up an object kind by catalog name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown object kind {name!r}; known: {sorted(_CATALOG)}"
+        ) from None
+
+
+def catalog() -> Dict[str, ObjectKind]:
+    """A copy of the full kind catalog."""
+    return dict(_CATALOG)

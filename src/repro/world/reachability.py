@@ -1,0 +1,135 @@
+"""Reachability masks: where a player can actually stand.
+
+Table 3's grid-point counts are counts of *reachable* locations — Racing
+Mountain spans 1090x1096 m but has only 7.7 M grid points because players
+stay on the track.  A mask is a predicate ``Vec2 -> bool`` plugged into
+:class:`repro.geometry.WorldGrid`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..geometry import Rect, Vec2
+
+
+@dataclass(frozen=True)
+class FullAreaMask:
+    """Every point inside the world rectangle is reachable."""
+
+    bounds: Rect
+
+    def __call__(self, point: Vec2) -> bool:
+        return self.bounds.contains_closed(point)
+
+
+class TrackMask:
+    """Reachable band around a closed or open polyline track.
+
+    Used by the racing games: the player (car) can occupy points within
+    ``half_width`` metres of the track centreline.
+    """
+
+    def __init__(
+        self, waypoints: Sequence[Vec2], half_width: float, closed: bool = True
+    ) -> None:
+        if len(waypoints) < 2:
+            raise ValueError("a track needs at least 2 waypoints")
+        if half_width <= 0:
+            raise ValueError("half_width must be positive")
+        self.waypoints = list(waypoints)
+        self.half_width = half_width
+        self.closed = closed
+
+    def _segments(self) -> List[tuple]:
+        pts = self.waypoints
+        segs = list(zip(pts, pts[1:]))
+        if self.closed:
+            segs.append((pts[-1], pts[0]))
+        return segs
+
+    def distance_to_centerline(self, point: Vec2) -> float:
+        """Shortest distance from ``point`` to the track centreline."""
+        best = math.inf
+        for a, b in self._segments():
+            ab = b - a
+            ab_len_sq = ab.norm_sq()
+            if ab_len_sq == 0:
+                dist = point.distance_to(a)
+            else:
+                t = max(0.0, min(1.0, (point - a).dot(ab) / ab_len_sq))
+                dist = point.distance_to(a + ab * t)
+            best = min(best, dist)
+        return best
+
+    def __call__(self, point: Vec2) -> bool:
+        return self.distance_to_centerline(point) <= self.half_width
+
+    def length(self) -> float:
+        """Total centreline length."""
+        return sum(a.distance_to(b) for a, b in self._segments())
+
+    def point_at(self, arc: float) -> Vec2:
+        """Point at arc-length ``arc`` along the centreline (wraps if closed)."""
+        total = self.length()
+        if total == 0:
+            return self.waypoints[0]
+        if self.closed:
+            arc = arc % total
+        else:
+            arc = max(0.0, min(arc, total))
+        travelled = 0.0
+        for a, b in self._segments():
+            seg_len = a.distance_to(b)
+            if travelled + seg_len >= arc and seg_len > 0:
+                return a.lerp(b, (arc - travelled) / seg_len)
+            travelled += seg_len
+        return self.waypoints[0] if self.closed else self.waypoints[-1]
+
+    def heading_at(self, arc: float) -> float:
+        """Track direction (radians) at arc-length ``arc``."""
+        eps = max(0.5, self.length() * 1e-4)
+        ahead = self.point_at(arc + eps)
+        here = self.point_at(arc)
+        d = ahead - here
+        if d.norm() == 0:
+            return 0.0
+        return d.angle()
+
+
+@dataclass(frozen=True)
+class RoomMask:
+    """Reachable interior of an indoor game, inset from the walls."""
+
+    bounds: Rect
+    wall_inset: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.wall_inset < 0:
+            raise ValueError("wall_inset must be non-negative")
+
+    def __call__(self, point: Vec2) -> bool:
+        return (
+            self.bounds.x_min + self.wall_inset <= point.x <= self.bounds.x_max - self.wall_inset
+            and self.bounds.y_min + self.wall_inset <= point.y <= self.bounds.y_max - self.wall_inset
+        )
+
+
+def oval_track(bounds: Rect, margin: float, waypoint_count: int = 32) -> List[Vec2]:
+    """Waypoints of an oval racing track inscribed in the world bounds."""
+    if waypoint_count < 3:
+        raise ValueError("waypoint_count must be >= 3")
+    cx, cy = bounds.center.x, bounds.center.y
+    rx = bounds.width / 2 - margin
+    ry = bounds.height / 2 - margin
+    if rx <= 0 or ry <= 0:
+        raise ValueError("margin too large for bounds")
+    return [
+        Vec2(
+            cx + rx * math.cos(2 * math.pi * k / waypoint_count),
+            cy + ry * math.sin(2 * math.pi * k / waypoint_count),
+        )
+        for k in range(waypoint_count)
+    ]

@@ -1,0 +1,218 @@
+"""The Scene: placed objects + terrain + spatial queries.
+
+Every higher layer asks the scene the same few questions, always centred on
+a viewpoint:
+
+* which objects are within / beyond a cutoff radius (near/far BE split);
+* how many triangles lie within a radius (Constraint 1 cost input);
+* what is the set of near-object ids (frame-cache criterion 3).
+
+A uniform-cell spatial hash answers these in time proportional to the
+objects actually in range, which matters because paper-scale worlds carry
+tens of thousands of objects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..geometry import Rect, Vec2
+from .objects import SceneObject
+
+TerrainFn = Callable[[Vec2], float]
+
+
+@dataclass(frozen=True)
+class BePartition:
+    """The near/far split of a scene's objects for one viewpoint."""
+
+    viewpoint: Vec2
+    cutoff_radius: float
+    near: Tuple[SceneObject, ...]
+    far: Tuple[SceneObject, ...]
+
+    @property
+    def near_ids(self) -> FrozenSet[int]:
+        """Identity of the near set; cache lookups compare these (§5.3)."""
+        return frozenset(obj.object_id for obj in self.near)
+
+
+class Scene:
+    """An immutable collection of scene objects with fast radius queries."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        objects: Iterable[SceneObject],
+        terrain: TerrainFn,
+        cell_size: float = 16.0,
+        ground_seed: int = 0,
+    ) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.bounds = bounds
+        self.terrain = terrain
+        self.cell_size = cell_size
+        # Seed for the procedural ground/sky textures so different games
+        # do not share one terrain skin.
+        self.ground_seed = ground_seed
+        self._objects: List[SceneObject] = list(objects)
+        ids = [obj.object_id for obj in self._objects]
+        if len(set(ids)) != len(ids):
+            raise ValueError("scene objects must have unique ids")
+        self._cells: Dict[Tuple[int, int], List[SceneObject]] = defaultdict(list)
+        for obj in self._objects:
+            self._cells[self._cell_of(obj.ground_position)].append(obj)
+
+    def _cell_of(self, point: Vec2) -> Tuple[int, int]:
+        return (
+            int(math.floor(point.x / self.cell_size)),
+            int(math.floor(point.y / self.cell_size)),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def objects(self) -> List[SceneObject]:
+        return list(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def total_triangles(self) -> int:
+        """Sum of all objects' triangle counts."""
+        return sum(obj.triangles for obj in self._objects)
+
+    def position_triangle_arrays(self):
+        """Cached (N, 2) ground positions and (N,) triangle counts.
+
+        Vectorized consumers (the cutoff search) use these instead of
+        per-object queries; built lazily once per scene.
+        """
+        if not hasattr(self, "_pos_tri_arrays"):
+            import numpy as np
+
+            positions = np.array(
+                [[o.center.x, o.center.y] for o in self._objects], dtype=np.float64
+            ).reshape(len(self._objects), 2)
+            triangles = np.array(
+                [o.triangles for o in self._objects], dtype=np.float64
+            )
+            self._pos_tri_arrays = (positions, triangles)
+        return self._pos_tri_arrays
+
+    # ------------------------------------------------------------------
+    # Radius queries
+    # ------------------------------------------------------------------
+
+    def objects_within(
+        self, center: Vec2, radius: float
+    ) -> List[SceneObject]:
+        """Objects whose footprint centre is within ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        lo_i, lo_j = self._cell_of(Vec2(center.x - radius, center.y - radius))
+        hi_i, hi_j = self._cell_of(Vec2(center.x + radius, center.y + radius))
+        radius_sq = radius * radius
+        found = []
+        for j in range(lo_j, hi_j + 1):
+            for i in range(lo_i, hi_i + 1):
+                for obj in self._cells.get((i, j), ()):
+                    d = obj.ground_position - center
+                    if d.norm_sq() <= radius_sq:
+                        found.append(obj)
+        return found
+
+    def objects_in_annulus(
+        self, center: Vec2, inner: float, outer: float
+    ) -> List[SceneObject]:
+        """Objects with ``inner < distance <= outer`` from ``center``.
+
+        The far BE under cutoff ``r`` is the annulus ``(r, view_limit]``.
+        """
+        if inner < 0 or outer < inner:
+            raise ValueError(f"invalid annulus [{inner}, {outer}]")
+        inner_sq, outer_sq = inner * inner, outer * outer
+        found = []
+        for obj in self.objects_within(center, outer):
+            d_sq = (obj.ground_position - center).norm_sq()
+            if inner_sq < d_sq <= outer_sq:
+                found.append(obj)
+        return found
+
+    def triangles_within(self, center: Vec2, radius: float) -> int:
+        """Total triangle count within ``radius`` — the object-density
+        measure the adaptive cutoff scheme samples (§4.3)."""
+        return sum(obj.triangles for obj in self.objects_within(center, radius))
+
+    def triangle_density(self, center: Vec2, probe_radius: float = 10.0) -> float:
+        """Triangles per square metre around ``center`` (Fig. 8's x-axis)."""
+        if probe_radius <= 0:
+            raise ValueError("probe_radius must be positive")
+        area = math.pi * probe_radius * probe_radius
+        return self.triangles_within(center, probe_radius) / area
+
+    # ------------------------------------------------------------------
+    # Near / far BE split
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        viewpoint: Vec2,
+        cutoff_radius: float,
+        view_limit: Optional[float] = None,
+    ) -> BePartition:
+        """Split objects into near BE and far BE around a viewpoint.
+
+        ``view_limit`` bounds the far set (server render distance); ``None``
+        includes every object in the scene beyond the cutoff.
+        """
+        if cutoff_radius < 0:
+            raise ValueError("cutoff_radius must be non-negative")
+        near = []
+        far = []
+        if view_limit is None:
+            candidates: Iterable[SceneObject] = self._objects
+        else:
+            if view_limit < cutoff_radius:
+                raise ValueError("view_limit must be >= cutoff_radius")
+            candidates = self.objects_within(viewpoint, view_limit)
+        for obj in candidates:
+            if obj.ground_distance_to(viewpoint) <= cutoff_radius:
+                near.append(obj)
+            else:
+                far.append(obj)
+        near.sort(key=lambda o: o.object_id)
+        far.sort(key=lambda o: o.object_id)
+        return BePartition(
+            viewpoint=viewpoint,
+            cutoff_radius=cutoff_radius,
+            near=tuple(near),
+            far=tuple(far),
+        )
+
+    def near_object_ids(
+        self,
+        viewpoint: Vec2,
+        cutoff_radius: float,
+        min_radius: float = 0.0,
+    ) -> FrozenSet[int]:
+        """Ids of the near-BE objects (frame-cache lookup criterion 3).
+
+        ``min_radius`` drops objects too small to matter: an object whose
+        bounding radius is far below the cutoff distance subtends a
+        sub-pixel angle at the near/far boundary, so its presence in
+        neither layer cannot produce a visible missing part.
+        """
+        if min_radius < 0:
+            raise ValueError("min_radius must be non-negative")
+        return frozenset(
+            obj.object_id
+            for obj in self.objects_within(viewpoint, cutoff_radius)
+            if obj.radius >= min_radius
+        )

@@ -1,0 +1,82 @@
+"""Terrain heightfields.
+
+The offline preprocessing module accounts for "the varying elevation and
+slope of the terrains where players stand" (§6) by ray-tracing footholds.
+These heightfields supply that elevation: flat floors for indoor games,
+rolling hills for village/adventure maps, and a ridged profile for the
+mountain racing world.  All are pure deterministic functions of position.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..geometry import Vec2
+
+
+@dataclass(frozen=True)
+class FlatTerrain:
+    """A constant-elevation floor (indoor games)."""
+
+    elevation: float = 0.0
+
+    def __call__(self, point: Vec2) -> float:
+        return self.elevation
+
+
+@dataclass(frozen=True)
+class RollingTerrain:
+    """Gently rolling hills as a sum of incommensurate sine waves.
+
+    ``amplitude`` is the peak height contribution of each wave;
+    ``wavelength`` sets the horizontal scale.  Deterministic in position,
+    with ``phase_seed`` decorrelating different games' terrain.
+    """
+
+    amplitude: float = 1.5
+    wavelength: float = 60.0
+    octaves: int = 3
+    phase_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0 or self.wavelength <= 0 or self.octaves < 1:
+            raise ValueError(f"invalid terrain parameters: {self}")
+
+    def __call__(self, point: Vec2) -> float:
+        height = 0.0
+        amp = self.amplitude
+        freq = 2.0 * math.pi / self.wavelength
+        for octave in range(self.octaves):
+            phase = (self.phase_seed * 2654435761 + octave * 40503) % 628318 / 1e5
+            height += amp * math.sin(point.x * freq + phase)
+            height += amp * math.sin(point.y * freq * 1.137 + phase * 1.618)
+            amp *= 0.5
+            freq *= 2.1
+        return height
+
+
+@dataclass(frozen=True)
+class RidgeTerrain:
+    """Mountain-valley profile: a broad valley floor rising toward the rim.
+
+    Used by the Racing Mountain world; the track runs along the valley while
+    the rim forms the distant backdrop.
+    """
+
+    rim_height: float = 80.0
+    valley_center: Vec2 = field(default_factory=lambda: Vec2(545.0, 548.0))
+    valley_radius: float = 350.0
+    roughness: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.rim_height < 0 or self.valley_radius <= 0 or self.roughness < 0:
+            raise ValueError(f"invalid ridge parameters: {self}")
+
+    def __call__(self, point: Vec2) -> float:
+        d = point.distance_to(self.valley_center)
+        # Smooth rise beyond the valley radius.
+        excess = max(0.0, d - self.valley_radius)
+        base = self.rim_height * (1.0 - math.exp(-excess / (self.valley_radius * 0.5)))
+        ripple = self.roughness * math.sin(point.x * 0.05) * math.cos(point.y * 0.041)
+        return base + ripple

@@ -1,0 +1,134 @@
+"""Tests for projection math (equirectangular mapping, angular sizes)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    FovSpec,
+    Vec3,
+    angles_to_direction,
+    angles_to_pixel,
+    angular_displacement,
+    angular_radius,
+    crop_fov,
+    direction_to_angles,
+    pixel_to_angles,
+)
+
+
+class TestAngles:
+    def test_cardinal_directions(self):
+        az, el = direction_to_angles(Vec3(1, 0, 0))
+        assert az == pytest.approx(0.0)
+        assert el == pytest.approx(0.0)
+        az, el = direction_to_angles(Vec3(0, 1, 0))
+        assert az == pytest.approx(math.pi / 2)
+        az, el = direction_to_angles(Vec3(0, 0, 1))
+        assert el == pytest.approx(math.pi / 2)
+
+    def test_negative_azimuth_wraps(self):
+        az, _ = direction_to_angles(Vec3(0, -1, 0))
+        assert az == pytest.approx(3 * math.pi / 2)
+
+    @given(
+        st.floats(min_value=0, max_value=2 * math.pi - 1e-6),
+        st.floats(min_value=-math.pi / 2 + 0.01, max_value=math.pi / 2 - 0.01),
+    )
+    def test_angle_direction_roundtrip(self, az, el):
+        direction = angles_to_direction(az, el)
+        az2, el2 = direction_to_angles(direction)
+        assert az2 == pytest.approx(az, abs=1e-9)
+        assert el2 == pytest.approx(el, abs=1e-9)
+
+
+class TestPixelMapping:
+    def test_forward_center_row(self):
+        u, v = angles_to_pixel(0.0, 0.0, 360, 180)
+        assert u == pytest.approx(0.0)
+        assert v == pytest.approx(90.0)
+
+    def test_zenith_top_row(self):
+        _, v = angles_to_pixel(0.0, math.pi / 2, 360, 180)
+        assert v == pytest.approx(0.0)
+
+    @given(
+        st.floats(min_value=0, max_value=359.0),
+        st.floats(min_value=1.0, max_value=179.0),
+    )
+    def test_pixel_roundtrip(self, u, v):
+        az, el = pixel_to_angles(u, v, 360, 180)
+        u2, v2 = angles_to_pixel(az, el, 360, 180)
+        assert u2 == pytest.approx(u, abs=1e-6)
+        assert v2 == pytest.approx(v, abs=1e-6)
+
+
+class TestAngularSize:
+    def test_shrinks_with_distance(self):
+        near = angular_radius(1.0, 2.0)
+        far = angular_radius(1.0, 20.0)
+        assert near > far
+
+    def test_inside_sphere_fills_view(self):
+        assert angular_radius(5.0, 1.0) == math.pi
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            angular_radius(-1.0, 5.0)
+
+    def test_small_angle_approximation(self):
+        # For d >> r, angular radius ~ r/d.
+        assert angular_radius(1.0, 100.0) == pytest.approx(0.01, rel=1e-3)
+
+    def test_displacement_inverse_distance(self):
+        # The near-object effect: same displacement, nearer object moves more.
+        near_shift = angular_displacement(0.5, 2.0)
+        far_shift = angular_displacement(0.5, 50.0)
+        assert near_shift > 10 * far_shift
+
+    @given(
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=0.01, max_value=1000),
+    )
+    def test_angular_radius_monotone_in_distance(self, r, d):
+        assert angular_radius(r, d) >= angular_radius(r, d * 2)
+
+
+class TestCropFov:
+    def _gradient_pano(self):
+        # Azimuth gradient: pixel value = column index.
+        pano = np.tile(np.arange(360, dtype=np.float64), (180, 1))
+        return pano
+
+    def test_output_shape(self):
+        pano = self._gradient_pano()
+        out = crop_fov(pano, yaw=0.0, pitch=0.0, fov=FovSpec(), out_width=64, out_height=48)
+        assert out.shape == (48, 64)
+
+    def test_yaw_shifts_view(self):
+        pano = self._gradient_pano()
+        fov = FovSpec()
+        front = crop_fov(pano, 0.0, 0.0, fov, 32, 32)
+        side = crop_fov(pano, math.pi / 2, 0.0, fov, 32, 32)
+        # Looking 90 degrees to the left reads columns ~90 later.
+        center_front = front[16, 16]
+        center_side = side[16, 16]
+        assert (center_side - center_front) % 360 == pytest.approx(90, abs=2)
+
+    def test_multichannel_passthrough(self):
+        pano = np.zeros((90, 180, 3))
+        pano[..., 1] = 7.0
+        out = crop_fov(pano, 0.0, 0.0, FovSpec(), 16, 16)
+        assert out.shape == (16, 16, 3)
+        assert np.all(out[..., 1] == 7.0)
+
+    def test_invalid_panorama_raises(self):
+        with pytest.raises(ValueError):
+            crop_fov(np.zeros(10), 0.0, 0.0, FovSpec(), 8, 8)
+
+    def test_invalid_fov_raises(self):
+        with pytest.raises(ValueError):
+            FovSpec(h_fov=0.0)

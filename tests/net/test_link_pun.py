@@ -1,0 +1,147 @@
+"""Tests for the WiFi link model and PUN FI sync."""
+
+import pytest
+
+from repro.net import PunChannel, PunConfig, WifiLink
+from repro.sim import Simulator
+
+
+def run_transfer(link, size_bytes, tag="be"):
+    results = {}
+
+    def proc():
+        duration = yield link.transfer(size_bytes, tag)
+        results["duration"] = duration
+
+    link.sim.spawn(proc())
+    link.sim.run()
+    return results["duration"]
+
+
+class TestWifiLink:
+    def test_single_transfer_duration(self):
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0, overhead_ms=1.5)
+        # 550 KB at 500 Mbps ~ 8.8 ms + 1.5 overhead (paper Table 1: ~9.2).
+        duration = run_transfer(link, 550_000)
+        assert 8.0 < duration + 1.5 < 12.0
+
+    def test_two_concurrent_transfers_double_delay(self):
+        """The Multi-Furion scaling wall: 2 players ~ 2x the net delay."""
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0, overhead_ms=0.0)
+        durations = []
+
+        def proc():
+            d = yield link.transfer(550_000)
+            durations.append(d)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        solo_sim = Simulator()
+        solo_link = WifiLink(solo_sim, capacity_mbps=500.0, overhead_ms=0.0)
+        solo = run_transfer(solo_link, 550_000)
+        assert durations[0] == pytest.approx(2 * solo, rel=0.01)
+
+    def test_zero_byte_transfer(self):
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=100.0, overhead_ms=0.5)
+        assert run_transfer(link, 0) == pytest.approx(0.0)
+
+    def test_negative_bytes_rejected(self):
+        link = WifiLink(Simulator())
+        with pytest.raises(ValueError):
+            link.transfer(-1)
+        with pytest.raises(ValueError):
+            link.record_datagram(-1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WifiLink(Simulator(), capacity_mbps=0)
+
+    def test_tag_accounting(self):
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0)
+        run_transfer(link, 100_000, tag="be")
+        link.record_datagram(500, tag="fi")
+        assert link.bytes_for("be") == 100_000
+        assert link.bytes_for("fi") == 500
+        assert link.total_bytes() == 100_500
+        assert link.bytes_for("unknown") == 0.0
+
+    def test_bandwidth_mbps(self):
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0)
+        run_transfer(link, 1_250_000)  # 10 megabits
+        # over a 1-second horizon -> 10 Mbps
+        assert link.bandwidth_mbps("be", 1000.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            link.bandwidth_mbps("be", 0)
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0, overhead_ms=0.0)
+        run_transfer(link, 625_000)  # 5 megabits -> 10 ms busy
+        sim.run_until(100.0)
+        assert link.utilization(100.0) == pytest.approx(0.1, abs=0.02)
+
+
+class TestPunChannel:
+    def test_sync_latency_in_paper_range(self):
+        """Footnote 1: FI sync takes 2-3 ms."""
+        channel = PunChannel(Simulator(), WifiLink(Simulator()), n_players=4)
+        for _ in range(50):
+            latency = channel.sync_latency_ms()
+            assert 2.0 <= latency <= 3.0
+
+    def test_single_player_heartbeat_only(self):
+        sim = Simulator()
+        link = WifiLink(sim)
+        channel = PunChannel(sim, link, n_players=1)
+        # Tick over one simulated second.
+        for t in range(0, 1001, 16):
+            sim.run_until(float(t))
+            channel.tick()
+        kbps = link.bytes_for("fi") * 8 / 1000.0
+        assert 0.5 < kbps < 2.0  # Table 9: ~1 Kbps for 1P
+
+    @pytest.mark.parametrize(
+        "players,lo,hi",
+        [(2, 30, 90), (3, 90, 180), (4, 180, 300)],
+    )
+    def test_multiplayer_bandwidth_matches_table9(self, players, lo, hi):
+        channel = PunChannel(Simulator(), WifiLink(Simulator()), n_players=players)
+        kbps = channel.expected_bandwidth_kbps()
+        assert lo < kbps < hi
+
+    def test_bandwidth_grows_superlinearly(self):
+        kbps = [
+            PunChannel(Simulator(), WifiLink(Simulator()), n).expected_bandwidth_kbps()
+            for n in (2, 3, 4)
+        ]
+        assert kbps[2] > 2 * kbps[0]
+
+    def test_tick_respects_send_rate(self):
+        sim = Simulator()
+        link = WifiLink(sim)
+        channel = PunChannel(sim, link, n_players=2, config=PunConfig(send_rate_hz=20))
+        # Two ticks 1 ms apart: only the first records traffic.
+        channel.tick()
+        first = link.bytes_for("fi")
+        sim.run_until(1.0)
+        channel.tick()
+        assert link.bytes_for("fi") == first
+        sim.run_until(51.0)
+        channel.tick()
+        assert link.bytes_for("fi") == 2 * first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PunChannel(Simulator(), WifiLink(Simulator()), n_players=0)
+        with pytest.raises(ValueError):
+            PunConfig(send_rate_hz=0)
+        with pytest.raises(ValueError):
+            PunConfig(state_bytes=0)
+        with pytest.raises(ValueError):
+            PunConfig(base_latency_ms=-1)

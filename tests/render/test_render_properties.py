@@ -1,0 +1,117 @@
+"""Render-layer invariants that the merging pipeline depends on."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, Vec2, Vec3
+from repro.render import (
+    RenderConfig,
+    merge_layers,
+    render_background,
+)
+from repro.render.splitter import (
+    eye_at,
+    render_far_be,
+    render_near_be,
+    render_whole_be,
+)
+from repro.world import Scene, SceneObject
+
+CFG = RenderConfig(width=128, height=64)
+
+
+def build_scene(seed=0, count=25):
+    rng = np.random.default_rng(seed)
+    objects = [
+        SceneObject(
+            object_id=i,
+            kind_name="tree",
+            center=Vec3(float(rng.uniform(20, 180)), float(rng.uniform(20, 180)), 2.0),
+            radius=float(rng.uniform(0.5, 4.0)),
+            triangles=1000,
+            luminance=float(rng.uniform(0.2, 0.8)),
+            contrast=0.35,
+            texture_seed=i * 7,
+        )
+        for i in range(count)
+    ]
+    return Scene(Rect(0, 0, 200, 200), objects, lambda p: 0.0)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene()
+
+
+EYE_POSITIONS = [Vec2(100, 100), Vec2(40, 60), Vec2(160, 150)]
+
+
+class TestLayerInvariants:
+    @pytest.mark.parametrize("position", EYE_POSITIONS)
+    def test_depth_finite_exactly_on_geometry(self, scene, position):
+        eye = eye_at(scene, position, 1.7)
+        layer = render_whole_be(scene, eye, CFG)
+        finite = np.isfinite(layer.depth)
+        # Sky pixels are covered but infinitely far; everything with a
+        # finite depth must be covered.
+        assert np.all(layer.mask[finite])
+
+    @pytest.mark.parametrize("position", EYE_POSITIONS)
+    def test_near_and_far_masks_disjoint_on_ground(self, scene, position):
+        eye = eye_at(scene, position, 1.7)
+        cutoff = 15.0
+        near = render_near_be(scene, eye, CFG, cutoff)
+        far = render_far_be(scene, eye, CFG, cutoff)
+        overlap = near.mask & far.mask
+        # Objects may straddle the split (bounding spheres), but the ground
+        # band partition is exact: overlap stays marginal.
+        assert overlap.mean() < 0.1
+
+    @pytest.mark.parametrize("position", EYE_POSITIONS)
+    def test_split_union_covers_whole(self, scene, position):
+        eye = eye_at(scene, position, 1.7)
+        cutoff = 15.0
+        near = render_near_be(scene, eye, CFG, cutoff)
+        far = render_far_be(scene, eye, CFG, cutoff)
+        whole = render_whole_be(scene, eye, CFG)
+        union = near.mask | far.mask
+        assert union.sum() >= whole.mask.sum() * 0.999
+
+    def test_pixel_values_in_unit_range(self, scene):
+        eye = eye_at(scene, Vec2(100, 100), 1.7)
+        for layer in (
+            render_whole_be(scene, eye, CFG),
+            render_near_be(scene, eye, CFG, 20.0),
+            render_far_be(scene, eye, CFG, 20.0),
+        ):
+            assert np.all(layer.image >= 0.0)
+            assert np.all(layer.image <= 1.0)
+            assert layer.image.dtype == np.float32
+
+    def test_merge_idempotent_on_empty_overlay(self, scene):
+        eye = eye_at(scene, Vec2(100, 100), 1.7)
+        base = render_whole_be(scene, eye, CFG)
+        from repro.render import empty_layer
+
+        merged = merge_layers(base, empty_layer(CFG))
+        assert np.array_equal(merged, base.image)
+
+    def test_background_mask_partition_under_any_cutoff(self, scene):
+        eye = eye_at(scene, Vec2(100, 100), 1.7)
+        for cutoff in (0.5, 3.0, 12.0, 60.0):
+            inner = render_background(scene, eye, CFG, far_clip=cutoff)
+            outer = render_background(scene, eye, CFG, near_clip=cutoff)
+            assert not (inner.mask & outer.mask).any()
+            assert (inner.mask | outer.mask).all()
+
+    def test_more_objects_more_coverage(self):
+        sparse = build_scene(seed=1, count=5)
+        dense = build_scene(seed=1, count=80)
+        eye = Vec3(100, 100, 1.7)
+        sparse_cov = render_whole_be(sparse, eye, CFG)
+        dense_cov = render_whole_be(dense, eye, CFG)
+        # Object pixels differ from the bare background.
+        bare = render_background(sparse, eye, CFG).image
+        sparse_changed = (np.abs(sparse_cov.image - bare) > 1e-6).sum()
+        dense_changed = (np.abs(dense_cov.image - bare) > 1e-6).sum()
+        assert dense_changed > sparse_changed

@@ -1,0 +1,70 @@
+"""Tests for the two-eye stereo projection (S6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.render import StereoConfig, side_by_side, stereo_views
+from repro.trace.headpose import HeadPose
+
+
+def gradient_panorama():
+    return np.tile(np.arange(360, dtype=np.float64), (180, 1))
+
+
+class TestStereoViews:
+    def test_output_shapes(self):
+        config = StereoConfig(eye_width=64, eye_height=48)
+        pose = HeadPose(t_ms=0.0, yaw=0.0, pitch=0.0)
+        left, right = stereo_views(gradient_panorama(), pose, config)
+        assert left.shape == (48, 64)
+        assert right.shape == (48, 64)
+
+    def test_eyes_have_parallax(self):
+        config = StereoConfig(eye_width=64, eye_height=48)
+        pose = HeadPose(t_ms=0.0, yaw=math.pi / 2, pitch=0.0)
+        left, right = stereo_views(gradient_panorama(), pose, config)
+        # Azimuth gradient: the two eyes read different columns.
+        delta = left[24, 32] - right[24, 32]
+        expected = math.degrees(2 * config.eye_yaw_offset)
+        assert delta == pytest.approx(expected, abs=1.5)
+
+    def test_zero_parallax_at_infinite_reference(self):
+        config = StereoConfig(eye_width=32, eye_height=32,
+                              reference_distance_m=1e9)
+        pose = HeadPose(t_ms=0.0, yaw=1.0, pitch=0.1)
+        left, right = stereo_views(gradient_panorama(), pose, config)
+        assert np.array_equal(left, right)
+
+    def test_yaw_rotates_both_eyes(self):
+        config = StereoConfig(eye_width=32, eye_height=32)
+        front = stereo_views(
+            gradient_panorama(), HeadPose(0.0, 0.0, 0.0), config
+        )[0]
+        side = stereo_views(
+            gradient_panorama(), HeadPose(0.0, math.pi / 2, 0.0), config
+        )[0]
+        assert (side[16, 16] - front[16, 16]) % 360 == pytest.approx(90, abs=2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            StereoConfig(eye_width=2)
+        with pytest.raises(ValueError):
+            StereoConfig(ipd_m=0)
+        with pytest.raises(ValueError):
+            stereo_views(np.zeros(5), HeadPose(0.0, 0.0, 0.0))
+
+
+class TestSideBySide:
+    def test_packing(self):
+        left = np.zeros((8, 8))
+        right = np.ones((8, 8))
+        packed = side_by_side(left, right)
+        assert packed.shape == (8, 16)
+        assert packed[0, 0] == 0.0
+        assert packed[0, 15] == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            side_by_side(np.zeros((8, 8)), np.zeros((8, 9)))

@@ -1,0 +1,132 @@
+"""Tests for device render-cost models."""
+
+import pytest
+
+from repro.geometry import Rect, Vec2, Vec3
+from repro.render import GTX1080TI, PIXEL2, DeviceProfile, RenderCostModel
+from repro.world import Scene, SceneObject
+
+
+def obj(object_id, x, y, triangles):
+    return SceneObject(
+        object_id=object_id,
+        kind_name="tree",
+        center=Vec3(x, y, 1.0),
+        radius=1.0,
+        triangles=triangles,
+        luminance=0.5,
+        contrast=0.3,
+        texture_seed=0,
+    )
+
+
+@pytest.fixture
+def model():
+    return RenderCostModel(PIXEL2)
+
+
+class TestDeviceProfile:
+    def test_builtin_profiles_valid(self):
+        assert PIXEL2.name == "pixel2"
+        assert GTX1080TI.triangle_throughput > PIXEL2.triangle_throughput
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", 0, 1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", 1, 1, 1, 1, 1, 1, lod_floor=2.0)
+
+
+class TestLod:
+    def test_full_detail_at_zero(self, model):
+        assert model.lod_weight(0.0) == 1.0
+
+    def test_monotone_decreasing_to_floor(self, model):
+        weights = [model.lod_weight(d) for d in (0, 10, 25, 50, 100, 500)]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+        assert weights[-1] == PIXEL2.lod_floor
+
+    def test_half_at_lod_distance(self, model):
+        assert model.lod_weight(PIXEL2.lod_distance) == pytest.approx(0.5)
+
+    def test_negative_distance_raises(self, model):
+        with pytest.raises(ValueError):
+            model.lod_weight(-1.0)
+
+
+class TestCosts:
+    def test_fi_ms_linear(self, model):
+        assert model.fi_ms(300_000) == pytest.approx(1.0)
+        assert model.fi_ms(600_000) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            model.fi_ms(-1)
+
+    def test_near_be_grows_with_cutoff(self, model):
+        objects = [obj(i, 100 + 5 * i, 100, 100_000) for i in range(10)]
+        scene = Scene(Rect(0, 0, 300, 300), objects, lambda p: 0.0)
+        p = Vec2(100, 100)
+        costs = [model.near_be_ms(scene, p, r) for r in (1, 10, 25, 50)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+        assert costs[-1] > costs[0]
+
+    def test_whole_be_at_least_near_be(self, model):
+        objects = [obj(i, 100 + 7 * i, 100, 50_000) for i in range(20)]
+        scene = Scene(Rect(0, 0, 300, 300), objects, lambda p: 0.0)
+        p = Vec2(100, 100)
+        assert model.whole_be_ms(scene, p) >= model.near_be_ms(scene, p, 20.0)
+
+    def test_server_much_faster_than_phone(self):
+        objects = [obj(i, 10 * i, 0, 200_000) for i in range(10)]
+        scene = Scene(Rect(0, 0, 300, 300), objects, lambda p: 0.0)
+        phone = RenderCostModel(PIXEL2).whole_be_ms(scene, Vec2(0, 0))
+        server = RenderCostModel(GTX1080TI).whole_be_ms(scene, Vec2(0, 0))
+        assert server < phone / 5
+
+    def test_frame_ms_adds_setup(self, model):
+        assert model.frame_ms(4.0, 6.0) == pytest.approx(PIXEL2.setup_ms + 10.0)
+        assert model.frame_ms() == pytest.approx(PIXEL2.setup_ms)
+
+    def test_decode_ms(self, model):
+        # 4K frame: 3840x2160 ~ 8.3 Mpixels -> several ms on the phone.
+        ms = model.decode_ms(3840, 2160)
+        assert 4.0 < ms < 16.7
+        with pytest.raises(ValueError):
+            model.decode_ms(0, 100)
+
+    def test_gpu_utilization(self, model):
+        assert model.gpu_utilization(8.0, 16.0) == pytest.approx(0.5)
+        assert model.gpu_utilization(40.0, 16.0) == 1.0
+        with pytest.raises(ValueError):
+            model.gpu_utilization(1.0, 0.0)
+
+
+class TestPaperCalibration:
+    """The model must land the headline games in Table 1's Mobile envelope."""
+
+    @pytest.mark.parametrize("game", ["viking", "cts", "racing"])
+    def test_mobile_fps_in_paper_range(self, game, model):
+        from repro.world import game_spec, load_game
+
+        gw = load_game(game)
+        spec = game_spec(game)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        points = []
+        while len(points) < 8:
+            p = gw.bounds.sample(rng, 1)[0]
+            if gw.grid.is_reachable(gw.grid.snap(p)):
+                points.append(p)
+        frame_ms = [
+            model.frame_ms(model.fi_ms(spec.fi_triangles), model.whole_be_ms(gw.scene, p))
+            for p in points
+        ]
+        fps = 1000.0 / (sum(frame_ms) / len(frame_ms))
+        # Paper: 24-27 FPS; we accept a generous envelope (clearly below 60).
+        assert 15.0 < fps < 40.0
+
+    @pytest.mark.parametrize("game", ["viking", "cts", "racing"])
+    def test_fi_under_4ms(self, game, model):
+        from repro.world import game_spec
+
+        assert model.fi_ms(game_spec(game).fi_triangles) < 4.0

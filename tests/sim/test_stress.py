@@ -1,0 +1,111 @@
+"""Stress and conservation tests for the discrete-event core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FluidShareServer, Simulator, all_of
+
+
+class TestManyProcesses:
+    def test_hundred_interleaved_tickers(self):
+        sim = Simulator()
+        fire_counts = [0] * 100
+
+        def ticker(index, period):
+            for _ in range(10):
+                yield period
+                fire_counts[index] += 1
+
+        for index in range(100):
+            sim.spawn(ticker(index, 1.0 + index * 0.13))
+        sim.run()
+        assert all(count == 10 for count in fire_counts)
+
+    def test_chained_events(self):
+        """A relay of 200 processes, each waking the next."""
+        sim = Simulator()
+        events = [sim.event() for _ in range(201)]
+        order = []
+
+        def relay(index):
+            yield events[index]
+            order.append(index)
+            events[index + 1].succeed()
+
+        for index in range(200):
+            sim.spawn(relay(index))
+        events[0].succeed()
+        sim.run()
+        assert order == list(range(200))
+
+    def test_all_of_with_many_events(self):
+        sim = Simulator()
+        events = [sim.timeout(float(k % 17) + 0.5) for k in range(300)]
+        done_at = []
+
+        def waiter():
+            yield all_of(sim, events)
+            done_at.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert done_at[0] == pytest.approx(16.5)
+
+
+class TestFluidConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=999983))
+    def test_total_work_conserved(self, seed):
+        """Whatever is submitted is eventually served, exactly once."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        server = FluidShareServer(sim, capacity=5.0)
+        total_submitted = 0.0
+        completions = []
+
+        def submit_later(delay, work):
+            def go():
+                done = server.submit(work)
+
+                def record():
+                    value = yield done
+                    completions.append(value)
+
+                sim.spawn(record())
+
+            sim.schedule(delay, go)
+
+        for _ in range(20):
+            work = float(rng.uniform(1.0, 50.0))
+            total_submitted += work
+            submit_later(float(rng.uniform(0.0, 30.0)), work)
+        sim.run()
+        assert len(completions) == 20
+        assert server.total_work_done == pytest.approx(total_submitted, rel=1e-6)
+        assert server.active_flows == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=999983))
+    def test_completion_times_lower_bounded(self, seed):
+        """No flow finishes faster than at full capacity (no free work)."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        server = FluidShareServer(sim, capacity=10.0)
+        checks = []
+
+        def submit(work):
+            done = server.submit(work)
+
+            def record():
+                duration = yield done
+                checks.append((work, duration))
+
+            sim.spawn(record())
+
+        for _ in range(10):
+            submit(float(rng.uniform(5.0, 100.0)))
+        sim.run()
+        for work, duration in checks:
+            assert duration >= work / 10.0 - 1e-9

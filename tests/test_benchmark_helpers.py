@@ -1,0 +1,91 @@
+"""Tests for the benchmark harness helpers (report tables, ASCII plots)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from ascii_plot import ascii_cdf, ascii_series  # noqa: E402
+from harness import PAPER, fmt, report  # noqa: E402
+
+
+class TestFmt:
+    def test_float_formatting(self):
+        assert fmt(3.14159) == "3.1"
+        assert fmt(3.14159, 3) == "3.142"
+
+    def test_none_is_dash(self):
+        assert fmt(None) == "-"
+
+    def test_int_passthrough(self):
+        assert fmt(42) == "42"
+
+
+class TestReport:
+    def test_writes_text_and_json(self, tmp_path, monkeypatch, capsys):
+        import harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        report("unit_test_table", ["a", "b"], [("x", 1), ("yy", 22)], notes="n")
+        out = capsys.readouterr().out
+        assert "unit_test_table" in out
+        assert (tmp_path / "unit_test_table.txt").exists()
+        assert (tmp_path / "unit_test_table.json").exists()
+        text = (tmp_path / "unit_test_table.txt").read_text()
+        assert "yy" in text and "22" in text and text.endswith("n\n")
+
+
+class TestPaperReference:
+    def test_table1_covers_three_baselines(self):
+        systems = {key[0] for key in PAPER["table1"]}
+        assert systems == {"mobile", "thin_client", "multi_furion"}
+
+    def test_table3_covers_all_nine_games(self):
+        assert len(PAPER["table3"]) == 9
+
+    def test_table5_covers_five_versions_four_counts(self):
+        assert len(PAPER["table5"]) == 20
+
+    def test_table10_distribution_sums_to_100(self):
+        assert sum(PAPER["table10"].values()) == pytest.approx(100.0)
+
+
+class TestAsciiCdf:
+    def test_renders_axes_and_legend(self):
+        plot = ascii_cdf({"a": [1, 2, 3]}, "metres", width=30, height=6)
+        lines = plot.splitlines()
+        assert lines[0].startswith(" 1.0 |")
+        assert "metres" in plot
+        assert "*=a" in plot
+
+    def test_monotone_columns(self):
+        plot = ascii_cdf({"s": list(range(20))}, "x", width=40, height=8)
+        # Marker row index never increases left to right (CDF rises).
+        rows = [line[6:] for line in plot.splitlines()[:8]]
+        last_col = -1
+        for row_index in range(7, -1, -1):
+            cols = [i for i, c in enumerate(rows[row_index]) if c == "*"]
+            if cols:
+                assert min(cols) >= last_col
+                last_col = min(cols)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({}, "x")
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": []}, "x")
+
+
+class TestAsciiSeries:
+    def test_renders_points(self):
+        plot = ascii_series(
+            {"up": [(0.0, 0.0), (1.0, 1.0)]}, "x", "y", width=20, height=5
+        )
+        assert "*" in plot
+        assert "*=up" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series({}, "x", "y")

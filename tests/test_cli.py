@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "coterie", "viking"])
+        assert args.system == "coterie"
+        assert args.game == "viking"
+        assert args.players == 2
+        assert args.duration == 10.0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "warpdrive", "viking"])
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["preprocess", "tetris"])
+
+
+class TestCommands:
+    def test_games_lists_all_nine(self, capsys):
+        assert main(["games"]) == 0
+        out = capsys.readouterr().out
+        for name in ("viking", "cts", "racing", "pool", "corridor"):
+            assert name in out
+
+    def test_run_mobile_pool(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FPS" in out
+        assert "power draw" in out
+
+    def test_preprocess_pool(self, capsys):
+        assert main(["preprocess", "pool"]) == 0
+        out = capsys.readouterr().out
+        assert "leaf regions" in out
+        assert "cutoff radii" in out

@@ -1,0 +1,83 @@
+"""Tests for movement-trace analysis."""
+
+import pytest
+
+from repro.geometry import Rect, Vec2, WorldGrid
+from repro.trace import (
+    Trajectory,
+    TrajectorySample,
+    analyze_trace,
+    generate_party,
+    generate_trajectory,
+    path_overlap,
+    prefetch_demand_hz,
+)
+from repro.world import load_game
+
+
+def straight_walk(n=61, step=0.05, dt=16.7):
+    samples = [
+        TrajectorySample(t_ms=i * dt, position=Vec2(i * step, 0.0), heading=0.0)
+        for i in range(n)
+    ]
+    return Trajectory(samples)
+
+
+class TestAnalyzeTrace:
+    def test_straight_walk_statistics(self):
+        grid = WorldGrid(Rect(0, 0, 10, 10), pitch=0.1)
+        trace = straight_walk()
+        stats = analyze_trace(trace, grid)
+        assert stats.path_length_m == pytest.approx(3.0)
+        assert stats.mean_speed_mps == pytest.approx(3.0, rel=0.05)
+        # 0.05 m steps on a 0.1 m grid: a crossing every other step.
+        assert stats.grid_crossings == 30
+        assert stats.revisit_rate == 0.0
+
+    def test_back_and_forth_revisits(self):
+        grid = WorldGrid(Rect(0, 0, 10, 10), pitch=0.1)
+        out = [
+            TrajectorySample(i * 16.7, Vec2(i * 0.1, 0.0), 0.0) for i in range(10)
+        ]
+        back = [
+            TrajectorySample((10 + i) * 16.7, Vec2((9 - i) * 0.1, 0.0), 0.0)
+            for i in range(9)
+        ]
+        stats = analyze_trace(Trajectory(out + back), grid)
+        assert stats.revisit_rate > 0.4
+
+    def test_stationary_trace(self):
+        grid = WorldGrid(Rect(0, 0, 10, 10), pitch=0.1)
+        samples = [
+            TrajectorySample(i * 16.7, Vec2(5.0, 5.0), 0.0) for i in range(10)
+        ]
+        stats = analyze_trace(Trajectory(samples), grid)
+        assert stats.grid_crossings == 0
+        assert stats.revisit_rate == 0.0
+
+
+class TestGameTraces:
+    def test_walking_revisit_rate_low(self):
+        """The §4.6 claim: players rarely revisit exact grid points."""
+        world = load_game("viking")
+        trace = generate_trajectory(world, duration_s=15, seed=3)
+        stats = analyze_trace(trace, world.grid)
+        assert stats.revisit_rate < 0.15
+
+    def test_prefetch_demand_near_frame_rate(self):
+        """Furion's per-frame prefetch: ~1 new grid point per frame."""
+        world = load_game("viking")
+        trace = generate_trajectory(world, duration_s=10, seed=5)
+        demand = prefetch_demand_hz(trace, world.grid)
+        assert 25.0 < demand <= 61.0
+
+    def test_two_player_overlap_tiny(self):
+        world = load_game("viking")
+        party = generate_party(world, 2, duration_s=10, seed=7)
+        overlap = path_overlap(party[0], party[1], world.grid)
+        assert overlap < 0.1
+
+    def test_self_overlap_is_one(self):
+        world = load_game("pool")
+        trace = generate_trajectory(world, duration_s=5, seed=9)
+        assert path_overlap(trace, trace, world.grid) == 1.0

@@ -1,0 +1,246 @@
+"""Tests for trajectories, movement models, head pose, FI, and recording."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, Vec2, WorldGrid
+from repro.trace import (
+    FRAME_MS,
+    HeadPoseModel,
+    Trajectory,
+    TrajectorySample,
+    avatars_at,
+    generate_fi_events,
+    generate_party,
+    generate_trajectory,
+    head_poses_for,
+    load_traces,
+    proximity_stats,
+    save_traces,
+)
+from repro.world import load_game
+
+
+def simple_trajectory(n=10, spacing=1.0):
+    samples = [
+        TrajectorySample(t_ms=i * FRAME_MS, position=Vec2(i * spacing, 0.0), heading=0.0)
+        for i in range(n)
+    ]
+    return Trajectory(samples, player_id=3)
+
+
+class TestTrajectory:
+    def test_basic_properties(self):
+        t = simple_trajectory(10)
+        assert len(t) == 10
+        assert t.player_id == 3
+        assert t.duration_ms == pytest.approx(9 * FRAME_MS)
+        assert t.path_length() == pytest.approx(9.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([])
+
+    def test_non_increasing_time_rejected(self):
+        samples = [
+            TrajectorySample(0.0, Vec2(0, 0), 0.0),
+            TrajectorySample(0.0, Vec2(1, 0), 0.0),
+        ]
+        with pytest.raises(ValueError):
+            Trajectory(samples)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectorySample(-1.0, Vec2(0, 0), 0.0)
+
+    def test_grid_points(self):
+        t = simple_trajectory(5, spacing=0.4)
+        grid = WorldGrid(Rect(0, 0, 10, 10), pitch=1.0)
+        gps = t.grid_points(grid)
+        assert len(gps) == 5
+        distinct = t.distinct_grid_points(grid)
+        # 0, 0.4, 0.8, 1.2, 1.6 -> snaps 0,0,1,1,2
+        assert distinct == [(0, 0), (1, 0), (2, 0)]
+
+    def test_subsample_by_distance(self):
+        t = simple_trajectory(10, spacing=0.5)
+        sub = t.subsample_by_distance(1.0)
+        positions = sub.positions()
+        assert all(
+            a.distance_to(b) >= 1.0 - 1e-9 for a, b in zip(positions, positions[1:])
+        )
+        with pytest.raises(ValueError):
+            t.subsample_by_distance(0)
+
+    def test_every_nth(self):
+        t = simple_trajectory(10)
+        assert len(t.every_nth(3)) == 4
+        with pytest.raises(ValueError):
+            t.every_nth(0)
+
+    def test_proximity_stats(self):
+        a = simple_trajectory(5)
+        b = Trajectory(
+            [
+                TrajectorySample(i * FRAME_MS, Vec2(i, 3.0), 0.0)
+                for i in range(5)
+            ]
+        )
+        mean_d, max_d = proximity_stats(a, b)
+        assert mean_d == pytest.approx(3.0)
+        assert max_d == pytest.approx(3.0)
+
+
+class TestMovement:
+    @pytest.fixture(scope="class")
+    def viking(self):
+        return load_game("viking")
+
+    @pytest.fixture(scope="class")
+    def racing(self):
+        return load_game("racing")
+
+    def test_walking_speed_realistic(self, viking):
+        t = generate_trajectory(viking, duration_s=10, seed=1)
+        speed = t.path_length() / 10.0
+        profile = viking.spec.player
+        assert 0.3 * profile.speed < speed < 1.6 * profile.speed
+
+    def test_stays_reachable(self, viking):
+        t = generate_trajectory(viking, duration_s=5, seed=2)
+        for s in t.samples:
+            assert viking.grid.is_reachable(viking.grid.snap(s.position))
+
+    def test_track_follower_stays_on_track(self, racing):
+        t = generate_trajectory(racing, duration_s=10, seed=3)
+        for s in t.samples:
+            assert racing.track.distance_to_centerline(s.position) <= (
+                racing.spec.track_half_width + 1e-6
+            )
+
+    def test_car_speed_realistic(self, racing):
+        t = generate_trajectory(racing, duration_s=10, seed=4)
+        speed = t.path_length() / 10.0
+        assert 0.6 * racing.spec.player.speed < speed < 1.5 * racing.spec.player.speed
+
+    def test_deterministic(self, viking):
+        a = generate_trajectory(viking, duration_s=3, seed=7)
+        b = generate_trajectory(viking, duration_s=3, seed=7)
+        assert a.positions() == b.positions()
+
+    def test_different_seeds_differ(self, viking):
+        a = generate_trajectory(viking, duration_s=3, seed=7)
+        b = generate_trajectory(viking, duration_s=3, seed=8)
+        assert a.positions() != b.positions()
+
+    def test_party_proximity(self, viking):
+        party = generate_party(viking, 3, duration_s=10, seed=5)
+        assert len(party) == 3
+        for follower in party[1:]:
+            mean_d, _ = proximity_stats(party[0], follower)
+            assert mean_d < 15.0  # group stays together
+
+    def test_party_paths_never_identical(self, viking):
+        """The §4.6 observation: players never trace the same path."""
+        party = generate_party(viking, 2, duration_s=10, seed=6)
+        gps_a = set(map(tuple, party[0].grid_points(viking.grid)))
+        gps_b = set(map(tuple, party[1].grid_points(viking.grid)))
+        overlap = len(gps_a & gps_b) / max(1, len(gps_a))
+        assert overlap < 0.2
+
+    def test_racing_party_staggered_start(self, racing):
+        party = generate_party(racing, 2, duration_s=5, seed=9)
+        start_gap = party[0][0].position.distance_to(party[1][0].position)
+        assert 2.0 < start_gap < 20.0
+
+    def test_validation(self, viking):
+        with pytest.raises(ValueError):
+            generate_trajectory(viking, duration_s=0, seed=0)
+        with pytest.raises(ValueError):
+            generate_party(viking, 0, duration_s=1, seed=0)
+
+
+class TestHeadPose:
+    def test_yaw_tracks_heading(self):
+        model = HeadPoseModel(seed=1)
+        poses = [model.step(heading=1.0, dt_ms=16.7) for _ in range(600)]
+        yaws = np.array([p.yaw for p in poses])
+        assert abs(yaws.mean() - 1.0) < 0.4
+
+    def test_pitch_bounded(self):
+        model = HeadPoseModel(seed=2, max_pitch=math.radians(35))
+        for _ in range(2000):
+            pose = model.step(0.0, 16.7)
+            assert abs(pose.pitch) <= math.radians(35) + 1e-9
+
+    def test_poses_per_sample(self):
+        t = simple_trajectory(20)
+        poses = head_poses_for(t, seed=3)
+        assert len(poses) == 20
+        assert poses[5].t_ms == t[5].t_ms
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HeadPoseModel(seed=0, yaw_sigma=-1)
+
+
+class TestFi:
+    def test_avatars_positions_and_exclusion(self):
+        gw = load_game("pool")
+        positions = [Vec2(5, 5), Vec2(6, 6)]
+        avatars = avatars_at(gw, positions)
+        assert len(avatars) == 2
+        avatars_excl = avatars_at(gw, positions, exclude_player=0)
+        assert len(avatars_excl) == 1
+        assert avatars_excl[0].ground_position == Vec2(6, 6)
+
+    def test_racing_avatars_are_cars(self):
+        gw = load_game("racing")
+        avatars = avatars_at(gw, [gw.spawn_points(1)[0]])
+        assert avatars[0].kind_name == "car"
+
+    def test_fi_ids_disjoint_from_scene(self):
+        gw = load_game("pool")
+        avatars = avatars_at(gw, [Vec2(5, 5)])
+        scene_ids = {o.object_id for o in gw.scene.objects}
+        assert not scene_ids & {a.object_id for a in avatars}
+
+    def test_event_stream_sorted_and_bounded(self):
+        events = generate_fi_events(4, duration_s=10, seed=1)
+        times = [e.t_ms for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 10_000 for t in times)
+        assert {e.player_id for e in events} <= {0, 1, 2, 3}
+
+    def test_event_rate_scales(self):
+        few = generate_fi_events(1, 30, seed=2, rate_hz=0.5)
+        many = generate_fi_events(1, 30, seed=2, rate_hz=5.0)
+        assert len(many) > 3 * len(few)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_fi_events(0, 10, 0)
+        with pytest.raises(ValueError):
+            generate_fi_events(1, 0, 0)
+
+
+class TestRecorder:
+    def test_roundtrip(self, tmp_path):
+        traces = [simple_trajectory(8), simple_trajectory(5)]
+        path = tmp_path / "traces.json"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert len(loaded) == 2
+        assert loaded[0].player_id == 3
+        assert loaded[0].positions() == traces[0].positions()
+        assert [s.t_ms for s in loaded[1].samples] == [
+            s.t_ms for s in traces[1].samples
+        ]
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "traces": []}')
+        with pytest.raises(ValueError):
+            load_traces(path)
