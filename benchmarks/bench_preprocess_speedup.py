@@ -1,0 +1,217 @@
+"""E-P1 — offline preprocessing speedup: serial vs parallel vs warm cache.
+
+The workload replays what the benchmark suite actually does to the offline
+stage.  One full-fidelity study of a game runs several system variants
+(Coterie, Coterie-w/o-cache, the cache-version ablations of Table 5) over
+the *same* trajectories, and the seed-era code gave each variant a fresh
+in-memory :class:`PanoramaStore` — so the identical far-BE panorama demand
+was re-rendered from scratch ``R`` times per study.
+
+Three legs over the same demand stream (one racing drive, ``R`` replays):
+
+* **serial** — the seed behaviour: every replay renders + encodes its own
+  panoramas, nothing persists;
+* **parallel** — the 4-worker driver pre-renders the demand's union once
+  into the content-addressed disk store, then every replay serves from it;
+* **warm** — the parallel leg rerun against the already-populated cache
+  directory: no panorama is rendered at all.
+
+Wall clocks, speedups, and per-leg ``perf.report()`` profiles land in
+``BENCH_preprocess.json`` (repo root, plus ``benchmarks/results/``).
+
+Run standalone with ``python benchmarks/bench_preprocess_speedup.py`` or
+under pytest-benchmark via ``pytest benchmarks/bench_preprocess_speedup.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import RESULTS_DIR, fmt, report, run_cost
+
+from repro import perf
+from repro.codec import FrameCodec
+from repro.core.preprocess import (
+    PanoramaStore,
+    PreprocessOptions,
+    preprocess_game,
+)
+from repro.render import RenderCostModel
+from repro.render.rasterizer import RenderConfig
+from repro.systems.base import SessionConfig
+from repro.world import load_game
+
+GAME = "racing"  # outdoor (Table 3's headline trio)
+SCALE = 0.15
+CONFIG = RenderConfig(width=64, height=32)
+REPLAYS = 4  # system variants sharing one demand stream (Table 5 runs 5+)
+DEMAND_POINTS = 72  # unique far-BE grid points in one drive
+WORKERS = 4
+SIZE_SAMPLES = 2
+SEED = 0
+
+
+def _demand_stream(world):
+    """Grid points a drive along the racing track requests far BE for."""
+    seen = []
+    for index in range(DEMAND_POINTS * 3):
+        arc = index * world.track.length() / (DEMAND_POINTS * 3)
+        snapped = world.grid.snap(world.track.point_at(arc))
+        if snapped not in seen:
+            seen.append(snapped)
+        if len(seen) == DEMAND_POINTS:
+            break
+    return seen
+
+
+def _replay(world, codec, artifacts, demand):
+    """Serve one variant's far-BE demand from a fresh panorama store."""
+    store = PanoramaStore(
+        world,
+        CONFIG,
+        codec,
+        cutoff_map=artifacts.cutoff_map,
+        kind="far",
+        eye_height=world.spec.player.eye_height,
+        disk_cache=artifacts.disk_cache,
+    )
+    total_bytes = 0
+    for grid_point in demand:
+        total_bytes += store.frame_for(grid_point).wire_bytes
+    return store.renders, total_bytes
+
+
+def _leg(world, codec, demand, options):
+    """One preprocessing-plus-replays leg; returns its timing record."""
+    perf.reset()
+    start = time.perf_counter()
+    artifacts = preprocess_game(
+        world,
+        RenderCostModel(SessionConfig().device),
+        CONFIG,
+        codec,
+        seed=SEED,
+        size_samples=SIZE_SAMPLES,
+        options=options,
+    )
+    renders = 0
+    checksum = 0
+    for _ in range(REPLAYS):
+        replay_renders, replay_bytes = _replay(world, codec, artifacts, demand)
+        renders += replay_renders
+        checksum += replay_bytes
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_s": round(elapsed, 3),
+        "replay_renders": renders,
+        "eager_renders": perf.counter("preprocess.panoramas_rendered"),
+        "bytes_served": checksum,
+        "stages": {
+            name: round(total, 3) for name, total in perf.stage_names().items()
+        },
+        "profile": perf.report(),
+    }
+
+
+def run_legs():
+    """Run all three legs and return (records, speedups)."""
+    world = load_game(GAME, scale=SCALE)
+    codec = FrameCodec()
+    demand = _demand_stream(world)
+    with tempfile.TemporaryDirectory() as cache_root:
+        cache_dir = str(Path(cache_root) / "panoramas")
+        parallel_options = PreprocessOptions(
+            workers=WORKERS,
+            cache_dir=cache_dir,
+            panorama_grid_points=demand,
+        )
+        legs = {
+            "serial": _leg(world, codec, demand, None),
+            "parallel": _leg(world, codec, demand, parallel_options),
+            "warm": _leg(world, codec, demand, parallel_options),
+        }
+    serial_s = legs["serial"]["wall_s"]
+    speedups = {
+        name: round(serial_s / legs[name]["wall_s"], 2)
+        for name in ("parallel", "warm")
+    }
+    # Same demand served in every leg — byte-identical panoramas.
+    assert len({leg["bytes_served"] for leg in legs.values()}) == 1
+    return legs, speedups, len(demand)
+
+
+def _record(legs, speedups, demand_size):
+    payload = {
+        "benchmark": "preprocess_speedup",
+        "game": GAME,
+        "scale": SCALE,
+        "render": [CONFIG.width, CONFIG.height],
+        "replays": REPLAYS,
+        "workers": WORKERS,
+        "demand_points": demand_size,
+        "legs": legs,
+        "speedup": speedups,
+        "cost": run_cost(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for target in (
+        Path(__file__).resolve().parent.parent / "BENCH_preprocess.json",
+        RESULTS_DIR / "BENCH_preprocess.json",
+    ):
+        target.write_text(json.dumps(payload, indent=1))
+    rows = [
+        (
+            name,
+            fmt(leg["wall_s"], 2),
+            leg["eager_renders"] + leg["replay_renders"],
+            fmt(speedups.get(name, 1.0), 2) + "x",
+        )
+        for name, leg in legs.items()
+    ]
+    report(
+        "BENCH_preprocess_table",
+        ("leg", "wall s", "panorama renders", "speedup"),
+        rows,
+        notes=f"{GAME} @ scale {SCALE}, {demand_size} demand points x "
+        f"{REPLAYS} replays, {WORKERS} workers",
+    )
+    return payload
+
+
+def main() -> int:
+    """Standalone entry point: run, record, and verify the acceptance bar."""
+    legs, speedups, demand_size = run_legs()
+    _record(legs, speedups, demand_size)
+    print(f"\nparallel speedup: {speedups['parallel']}x  "
+          f"warm-cache speedup: {speedups['warm']}x")
+    ok = speedups["parallel"] >= 2.0 and speedups["warm"] >= 5.0
+    print("acceptance:", "PASS" if ok else "FAIL (>=2x parallel, >=5x warm)")
+    return 0 if ok else 1
+
+
+try:
+    import pytest
+except ImportError:  # standalone run without pytest installed
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="preprocess_speedup")
+    def test_preprocess_speedup(benchmark):
+        """Parallel+cache >= 2x over serial; warm rerun >= 5x."""
+        from harness import once
+
+        legs, speedups, demand_size = once(benchmark, run_legs)
+        _record(legs, speedups, demand_size)
+        assert speedups["parallel"] >= 2.0
+        assert speedups["warm"] >= 5.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,10 +15,30 @@ evaluation.  The harness provides:
 from __future__ import annotations
 
 import json
+import resource
+import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# Wall-clock origin for per-result cost reporting (module import ~ run start).
+_RUN_START = time.monotonic()
+
+
+def run_cost() -> Dict[str, float]:
+    """Reproduction cost so far: wall-clock seconds and peak RSS (MB).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalised to megabytes.
+    """
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1e6 if sys.platform == "darwin" else 1e3
+    return {
+        "wall_s": round(time.monotonic() - _RUN_START, 3),
+        "peak_rss_mb": round(maxrss / divisor, 1),
+    }
 
 # ----------------------------------------------------------------------
 # Published reference numbers (the paper's tables)
@@ -129,7 +149,7 @@ def report(name: str, header: Sequence[str], rows: List[Sequence], notes: str = 
         text += f"\n{notes}"
     print("\n" + text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    payload = {"name": name, "header": list(header), "rows": [list(r) for r in rows], "notes": notes}
+    payload = {"name": name, "header": list(header), "rows": [list(r) for r in rows], "notes": notes, "cost": run_cost()}
     (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1, default=str))
 
 

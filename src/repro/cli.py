@@ -15,6 +15,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import perf
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .world import ALL_GAMES, game_spec, load_game
 
@@ -53,7 +54,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_preprocess(args: argparse.Namespace) -> int:
     world = load_game(args.game)
     config = SessionConfig(seed=args.seed)
-    artifacts = prepare_artifacts(world, config, seed=args.seed)
+    artifacts = prepare_artifacts(
+        world,
+        config,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     stats = artifacts.cutoff_map.stats()
     radii = sorted(artifacts.cutoff_map.leaf_radii())
     print(f"offline preprocessing for {world.spec.title}:")
@@ -67,6 +74,13 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     print(f"  whole-BE frame   : ~{artifacts.whole_size_model.mean_bytes / 1000:.0f} KB")
     print(f"  modeled offline  : "
           f"{artifacts.cutoff_map.modeled_processing_hours():.2f} h on-device")
+    if artifacts.disk_cache is not None:
+        cache = artifacts.disk_cache
+        print(f"  disk cache       : {cache.entry_count()} entries, "
+              f"{cache.size_bytes() / 1e6:.1f} MB in {cache.root}")
+    if args.perf:
+        print()
+        print(perf.report())
     return 0
 
 
@@ -94,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     pre = sub.add_parser("preprocess", help="run the offline pipeline")
     pre.add_argument("game", choices=ALL_GAMES)
     pre.add_argument("--seed", type=int, default=3)
+    pre.add_argument("--workers", type=int, default=1,
+                     help="process count for the parallel driver (1 = serial)")
+    pre.add_argument("--cache-dir", default=None,
+                     help="persistent panorama/artifact cache directory")
+    pre.add_argument("--perf", action="store_true",
+                     help="print the per-stage perf report afterwards")
     pre.set_defaults(func=_cmd_preprocess)
     return parser
 

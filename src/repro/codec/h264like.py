@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import perf
 from .blocks import BLOCK, join_blocks, pad_to_blocks, split_blocks
 from .dct import forward_dct, inverse_dct
 from .entropy import decode_levels, encode_levels
@@ -103,17 +104,18 @@ class FrameCodec:
             raise ValueError("expected a 2D luminance frame")
         if frame.size == 0:
             raise ValueError("empty frame")
-        pixels = np.asarray(frame, dtype=np.float64) * 255.0
-        if reference is None:
-            levels, _ = self._to_levels(pixels - 128.0)
-            is_key = True
-        else:
-            if reference.shape != frame.shape:
-                raise ValueError("reference shape differs from frame shape")
-            residual = pixels - np.asarray(reference, dtype=np.float64) * 255.0
-            levels, _ = self._to_levels(residual)
-            is_key = False
-        data = encode_levels(levels)
+        with perf.timed("encode"):
+            pixels = np.asarray(frame, dtype=np.float64) * 255.0
+            if reference is None:
+                levels, _ = self._to_levels(pixels - 128.0)
+                is_key = True
+            else:
+                if reference.shape != frame.shape:
+                    raise ValueError("reference shape differs from frame shape")
+                residual = pixels - np.asarray(reference, dtype=np.float64) * 255.0
+                levels, _ = self._to_levels(residual)
+                is_key = False
+            data = encode_levels(levels)
         return EncodedFrame(
             data=data,
             width=frame.shape[1],
@@ -130,22 +132,23 @@ class FrameCodec:
         self, encoded: EncodedFrame, reference: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """Decode back to a luminance frame in [0, 1]."""
-        pad_h = (-encoded.height) % BLOCK
-        pad_w = (-encoded.width) % BLOCK
-        ny = (encoded.height + pad_h) // BLOCK
-        nx = (encoded.width + pad_w) // BLOCK
-        levels = decode_levels(encoded.data, ny, nx)
-        blocks = inverse_dct(dequantize(levels, encoded.crf))
-        pixels = join_blocks(blocks, (encoded.height, encoded.width))
-        if encoded.is_keyframe:
-            out = pixels + 128.0
-        else:
-            if reference is None:
-                raise ValueError("P-frame decode requires the reference frame")
-            if reference.shape != (encoded.height, encoded.width):
-                raise ValueError("reference shape mismatch")
-            out = pixels + np.asarray(reference, dtype=np.float64) * 255.0
-        return np.clip(out / 255.0, 0.0, 1.0).astype(np.float32)
+        with perf.timed("decode"):
+            pad_h = (-encoded.height) % BLOCK
+            pad_w = (-encoded.width) % BLOCK
+            ny = (encoded.height + pad_h) // BLOCK
+            nx = (encoded.width + pad_w) // BLOCK
+            levels = decode_levels(encoded.data, ny, nx)
+            blocks = inverse_dct(dequantize(levels, encoded.crf))
+            pixels = join_blocks(blocks, (encoded.height, encoded.width))
+            if encoded.is_keyframe:
+                out = pixels + 128.0
+            else:
+                if reference is None:
+                    raise ValueError("P-frame decode requires the reference frame")
+                if reference.shape != (encoded.height, encoded.width):
+                    raise ValueError("reference shape mismatch")
+                out = pixels + np.asarray(reference, dtype=np.float64) * 255.0
+            return np.clip(out / 255.0, 0.0, 1.0).astype(np.float32)
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,12 @@ from .cutoff import (
     leaf_key,
     max_radius_satisfying,
 )
-from .dist_thresh import DistThreshMap, measure_dist_thresh
+from .dist_thresh import (
+    DistThreshMap,
+    dist_thresh_payload,
+    leaf_threshold,
+    measure_dist_thresh,
+)
 from .merger import compose_display, layer_from_decoded, switch_discontinuities
 from .pipeline import PipelineTimings, frame_interval_ms
 from .prefetch import PrefetchDecision, Prefetcher
@@ -26,12 +31,15 @@ from .preprocess import (
     FrameSizeModel,
     OfflineArtifacts,
     PanoramaStore,
+    PreprocessOptions,
     StoredFrame,
     calibrate_size_model,
     preprocess_game,
 )
+from .store import CACHE_SCHEMA_VERSION, PanoramaDiskCache, world_cache_key
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "CachedFrame",
     "CacheStats",
     "CutoffMap",
@@ -46,23 +54,28 @@ __all__ = [
     "LeafKey",
     "OfflineArtifacts",
     "PAPER_FI_BOUND_MS",
+    "PanoramaDiskCache",
     "PanoramaStore",
     "PipelineTimings",
     "PrefetchDecision",
     "Prefetcher",
+    "PreprocessOptions",
     "RenderBudget",
     "StoredFrame",
     "build_cutoff_map",
     "calibrate_size_model",
     "compose_display",
+    "dist_thresh_payload",
     "exact_max_radius",
     "frame_interval_ms",
     "layer_from_decoded",
     "leaf_key",
+    "leaf_threshold",
     "max_radius_satisfying",
     "measure_dist_thresh",
     "measure_fi_budget",
     "preprocess_game",
     "satisfies_constraint",
     "switch_discontinuities",
+    "world_cache_key",
 ]

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import perf
 from ..geometry import QuadTree, QuadTreeStats, Rect, Vec2
 from ..render.timing import RenderCostModel
 from ..world.scene import Scene
@@ -231,5 +232,7 @@ def build_cutoff_map(
         stop = radii_similar(radii) or too_small
         return stop, payload
 
-    tree = QuadTree.build(world, policy, max_depth=config.max_depth)
+    with perf.timed("cutoff"):
+        tree = QuadTree.build(world, policy, max_depth=config.max_depth)
+    perf.count("cutoff.samples", counter["samples"])
     return CutoffMap(tree=tree, config=config, samples_evaluated=counter["samples"])

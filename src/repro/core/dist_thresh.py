@@ -11,20 +11,27 @@ which the far-BE pair keeps SSIM > 0.9, then take the per-leaf minimum.
 Full pre-computation over thousands of leaves is render-heavy, so
 :class:`DistThreshMap` computes thresholds lazily per leaf on first visit
 and memoizes — identical output for every leaf a player actually enters.
+The per-leaf computation lives in :func:`leaf_threshold`, a pure function
+of (scene, config, leaf key, cutoff, seed, k_samples, eye_height), so the
+parallel preprocessing driver can compute the same values eagerly in
+worker processes and :meth:`DistThreshMap.preload` them — lazy, eager, and
+disk-cached paths all produce bit-identical thresholds because they run
+the same function with the same RNG stream.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from .. import perf
 from ..geometry import Rect, Vec2
 from ..render.rasterizer import RenderConfig
 from ..render.splitter import eye_at, render_far_be
-from ..similarity import SSIM_GOOD, ssim
+from ..similarity import SSIM_GOOD, prepare_reference, ssim_with
 from ..world.scene import Scene
 from .cutoff import CutoffMap, LeafKey
 
@@ -55,13 +62,16 @@ def measure_dist_thresh(
     base = render_far_be(
         scene, eye_at(scene, point, eye_height), config, cutoff_radius
     ).image
+    # Every probe compares against the same base frame: share its moments.
+    reference = prepare_reference(base)
 
     def similar_at(displacement: float) -> bool:
         moved = scene.bounds.clamp(point + direction * displacement)
         frame = render_far_be(
             scene, eye_at(scene, moved, eye_height), config, cutoff_radius
         ).image
-        return ssim(base, frame) > threshold
+        perf.count("dist_thresh.probes")
+        return ssim_with(reference, frame) > threshold
 
     # Halve from the 32 m start until a similar displacement is found.
     hi = _SEARCH_START_M
@@ -80,6 +90,51 @@ def measure_dist_thresh(
     return lo
 
 
+def dist_thresh_payload(
+    key: LeafKey, cutoff: float, k_samples: int, seed: int
+) -> Dict[str, object]:
+    """The disk-cache payload identifying one leaf's threshold.
+
+    The cutoff is part of the key: a cost-model change that resizes a
+    leaf's cutoff must invalidate its persisted threshold.
+    """
+    return {
+        "leaf": [float(v) for v in key],
+        "cutoff": float(cutoff),
+        "k_samples": int(k_samples),
+        "seed": int(seed),
+    }
+
+
+def leaf_threshold(
+    scene: Scene,
+    config: RenderConfig,
+    key: LeafKey,
+    cutoff: float,
+    seed: int = 0,
+    k_samples: int = 2,
+    eye_height: float = 1.7,
+) -> float:
+    """The dist_thresh of one leaf region — pure in its arguments.
+
+    The RNG is seeded from (seed, leaf key) via Python's numeric tuple hash,
+    which is independent of PYTHONHASHSEED, so any process computing this
+    leaf draws the identical sample points and probe directions.
+    """
+    with perf.timed("dist_thresh"):
+        region = Rect(*key)
+        rng = np.random.default_rng(seed ^ hash(key) & 0x7FFFFFFF)
+        thresholds: List[float] = []
+        for sample_point in region.sample(rng, k_samples):
+            clamped = scene.bounds.clamp(sample_point)
+            thresholds.append(
+                measure_dist_thresh(
+                    scene, config, clamped, cutoff, rng, eye_height=eye_height
+                )
+            )
+        return min(thresholds)
+
+
 @dataclass
 class DistThreshMap:
     """Lazily computed per-leaf distance thresholds."""
@@ -91,10 +146,18 @@ class DistThreshMap:
     seed: int = 0
     eye_height: float = 1.7
     _cache: Dict[LeafKey, float] = field(default_factory=dict)
+    disk: Optional[object] = None  # PanoramaDiskCache, if persisting
 
     def __post_init__(self) -> None:
         if self.k_samples < 1:
             raise ValueError("k_samples must be >= 1")
+
+    def _disk_payload(self, key: LeafKey, cutoff: float) -> Dict[str, object]:
+        return dist_thresh_payload(key, cutoff, self.k_samples, self.seed)
+
+    def preload(self, mapping: Mapping[LeafKey, float]) -> None:
+        """Install eagerly computed thresholds (from the parallel driver)."""
+        self._cache.update(mapping)
 
     def threshold_for(self, point: Vec2) -> float:
         """The dist_thresh of the leaf region containing ``point``."""
@@ -102,25 +165,28 @@ class DistThreshMap:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        region = Rect(*key)
-        rng = np.random.default_rng(
-            self.seed ^ hash(key) & 0x7FFFFFFF
-        )
-        thresholds: List[float] = []
-        for sample_point in region.sample(rng, self.k_samples):
-            clamped = self.scene.bounds.clamp(sample_point)
-            thresholds.append(
-                measure_dist_thresh(
-                    self.scene,
-                    self.config,
-                    clamped,
-                    cutoff,
-                    rng,
-                    eye_height=self.eye_height,
-                )
+        if self.disk is not None:
+            stored = self.disk.load_value(
+                "dist_thresh", self._disk_payload(key, cutoff)
             )
-        value = min(thresholds)
+            if stored is not None:
+                value = float(stored)
+                self._cache[key] = value
+                return value
+        value = leaf_threshold(
+            self.scene,
+            self.config,
+            key,
+            cutoff,
+            seed=self.seed,
+            k_samples=self.k_samples,
+            eye_height=self.eye_height,
+        )
         self._cache[key] = value
+        if self.disk is not None:
+            self.disk.store_value(
+                "dist_thresh", self._disk_payload(key, cutoff), value
+            )
         return value
 
     @property

@@ -25,6 +25,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from .. import perf
 from ..geometry import Vec3, angular_radius, direction_to_angles
 from ..world.objects import SceneObject
 from ..world.scene import Scene
@@ -99,6 +100,17 @@ def render_background(
     """
     if near_clip < 0 or far_clip < near_clip:
         raise ValueError(f"invalid clip range [{near_clip}, {far_clip}]")
+    with perf.timed("raster"):
+        return _render_background(scene, eye, config, near_clip, far_clip)
+
+
+def _render_background(
+    scene: Scene,
+    eye: Vec3,
+    config: RenderConfig,
+    near_clip: float,
+    far_clip: float,
+) -> Layer:
     az, el = _pixel_angles(config)
     image = new_frame(config.width, config.height)
     mask = np.zeros_like(image, dtype=bool)
@@ -173,6 +185,16 @@ def draw_objects(
     """
     if not objects:
         return layer
+    with perf.timed("raster"):
+        return _draw_objects(layer, objects, eye, config)
+
+
+def _draw_objects(
+    layer: Layer,
+    objects: Sequence[SceneObject],
+    eye: Vec3,
+    config: RenderConfig,
+) -> Layer:
     az_cols, el_rows = _pixel_angles(config)
     width, height = config.width, config.height
     image, mask, depth = layer.image, layer.mask, layer.depth

@@ -6,15 +6,30 @@ from .metrics import (
     fraction_above,
     similarity_cdf,
 )
-from .ssim import SSIM_GOOD, is_similar, ssim, ssim_map
+from .ssim import (
+    SSIM_GOOD,
+    SsimReference,
+    is_similar,
+    prepare_reference,
+    ssim,
+    ssim_many,
+    ssim_map,
+    ssim_map_with,
+    ssim_with,
+)
 
 __all__ = [
     "SSIM_GOOD",
+    "SsimReference",
     "adjacent_similarities",
     "best_case_similarities",
     "fraction_above",
     "is_similar",
+    "prepare_reference",
     "similarity_cdf",
     "ssim",
+    "ssim_many",
     "ssim_map",
+    "ssim_map_with",
+    "ssim_with",
 ]

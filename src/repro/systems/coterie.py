@@ -68,6 +68,7 @@ def run_coterie(
         eye_height=world.spec.player.eye_height,
         render_frames=config.render_frames,
         size_model=None if config.render_frames else artifacts.far_size_model,
+        disk_cache=artifacts.disk_cache,
     )
     caches = [
         FrameCache(

@@ -11,14 +11,23 @@ from repro.similarity import (
     best_case_similarities,
     fraction_above,
     is_similar,
+    prepare_reference,
     similarity_cdf,
     ssim,
+    ssim_many,
     ssim_map,
+    ssim_with,
 )
 
 
 def noise_frame(seed, shape=(32, 64)):
     return np.random.default_rng(seed).random(shape).astype(np.float32)
+
+
+def ramp_frame(shape=(32, 64)):
+    """A deterministic textured frame (no RNG) for pinned-value tests."""
+    y, x = np.mgrid[0 : shape[0], 0 : shape[1]]
+    return 0.5 + 0.25 * np.sin(x / 3.0) + 0.25 * np.cos(y / 5.0)
 
 
 class TestSsim:
@@ -84,6 +93,69 @@ class TestSsim:
     def test_reflexive_property(self, seed):
         f = noise_frame(seed)
         assert ssim(f, f) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPinnedValues:
+    """Reference values the implementation must keep reproducing exactly."""
+
+    def test_identical_frames_exactly_one(self):
+        # Identical inputs make numerator and denominator the same floats,
+        # so the map is exactly 1.0 everywhere, not just approximately.
+        f = noise_frame(11)
+        assert ssim(f, f.copy()) == 1.0
+
+    def test_inverted_constant_frames_analytic(self):
+        # Constant frames have zero variance, so SSIM reduces to the
+        # luminance term (2 mu_x mu_y + C1) / (mu_x^2 + mu_y^2 + C1)
+        # with C1 = (0.01 * data_range)^2.
+        a = np.full((16, 16), 0.25)
+        b = np.full((16, 16), 0.75)
+        expected = (2 * 0.25 * 0.75 + 1e-4) / (0.25**2 + 0.75**2 + 1e-4)
+        assert ssim(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_inverted_textured_frame_strongly_negative(self):
+        # b = 1 - a flips the sign of every covariance: sigma_xy = -sigma_x^2,
+        # driving the structure term (and the mean SSIM) deeply negative.
+        f = noise_frame(12).astype(np.float64)
+        assert ssim(f, 1.0 - f) < -0.9
+
+    def test_small_shift_pinned(self):
+        # Golden value for a 2-column roll of the deterministic ramp frame;
+        # any change to the window, constants, or filtering shows up here.
+        f = ramp_frame()
+        shifted = np.roll(f, 2, axis=1)
+        assert ssim(f, shifted) == pytest.approx(0.6979857490228534, abs=1e-12)
+
+
+class TestSsimMany:
+    def test_matches_per_pair_ssim(self):
+        ref = noise_frame(20)
+        candidates = [noise_frame(21 + i) for i in range(6)]
+        batch = ssim_many(ref, candidates)
+        per_pair = np.array([ssim(ref, c) for c in candidates])
+        assert np.max(np.abs(batch - per_pair)) <= 1e-12
+
+    def test_matches_including_near_identical(self):
+        ref = noise_frame(30)
+        candidates = [ref.copy(), np.clip(ref + 0.01, 0, 1), noise_frame(31)]
+        batch = ssim_many(ref, candidates)
+        per_pair = np.array([ssim(ref, c) for c in candidates])
+        assert np.max(np.abs(batch - per_pair)) <= 1e-12
+        assert batch[0] == 1.0
+
+    def test_prepared_reference_reusable(self):
+        ref_frame = noise_frame(40)
+        prepared = prepare_reference(ref_frame)
+        for seed in range(41, 44):
+            candidate = noise_frame(seed)
+            assert ssim_with(prepared, candidate) == pytest.approx(
+                ssim(ref_frame, candidate), abs=1e-12
+            )
+
+    def test_shape_mismatch_raises(self):
+        prepared = prepare_reference(noise_frame(0))
+        with pytest.raises(ValueError):
+            ssim_with(prepared, noise_frame(0, (16, 16)))
 
 
 class TestIsSimilar:
