@@ -16,6 +16,8 @@ import sys
 from typing import List, Optional
 
 from . import perf
+from .faults import FaultSchedule
+from .net import ImpairmentConfig
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .world import ALL_GAMES, game_spec, load_game
 
@@ -31,8 +33,19 @@ def _cmd_games(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    impairment = None
+    if args.loss > 0:
+        impairment = ImpairmentConfig.bursty(args.loss, seed=args.seed)
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultSchedule.parse(args.faults)
+        except ValueError as exc:
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
     config = SessionConfig(duration_s=args.duration, seed=args.seed,
-                           wifi_mbps=args.wifi_mbps)
+                           wifi_mbps=args.wifi_mbps,
+                           impairment=impairment, faults=faults)
     result = run_system(args.system, args.game, args.players, config)
     print(f"{args.system} on {args.game}, {args.players} player(s), "
           f"{args.duration:g}s simulated:")
@@ -48,6 +61,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  CPU / GPU       : {100 * player.metrics.cpu_utilization:.0f} % "
           f"/ {100 * player.metrics.gpu_utilization:.0f} %")
     print(f"  power draw      : {player.power_w:.2f} W")
+    if config.degraded_mode:
+        metrics = [p.metrics for p in result.players]
+        miss = sum(m.deadline_miss_rate for m in metrics) / len(metrics)
+        stale = sum(m.stale_frames for m in metrics)
+        max_age = max(m.max_stale_age_ms for m in metrics)
+        retries = sum(m.fetch_retries for m in metrics)
+        abandoned = sum(m.fetches_abandoned for m in metrics)
+        rewarms = sum(m.rewarm_fetches for m in metrics)
+        print("  -- resilience --")
+        print(f"  deadline misses : {100 * miss:.1f} % of frames")
+        print(f"  stale frames    : {stale} (max age {max_age:.1f} ms)")
+        print(f"  fetch retries   : {retries} "
+              f"({abandoned} abandoned, {rewarms} re-warms)")
     return 0
 
 
@@ -103,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated seconds of game play")
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--wifi-mbps", type=float, default=500.0)
+    run.add_argument("--loss", type=float, default=0.0,
+                     help="bursty packet-loss rate on the link (0-0.5)")
+    run.add_argument("--faults", default=None,
+                     help="fault schedule, e.g. "
+                          "'dip@3000-8000:0.02,stall@1000-1500:25,outage@2000-4000:1'")
     run.set_defaults(func=_cmd_run)
 
     pre = sub.add_parser("preprocess", help="run the offline pipeline")

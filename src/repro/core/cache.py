@@ -158,6 +158,22 @@ class FrameCache:
         self.stats.hits += 1
         return best
 
+    def nearest(self, position: Vec2) -> Optional[CachedFrame]:
+        """Closest resident frame regardless of the hit criteria.
+
+        The stale-frame fallback: when a prefetch misses its deadline the
+        client would rather display the nearest cached far-BE panorama
+        than stall the display — frame similarity (§4.6) keeps a nearby
+        stale frame perceptually close.  Not counted as a hit or miss and
+        does not refresh LRU state; the caller records it as degradation.
+        """
+        if not self._frames:
+            return None
+        return min(
+            self._frames.values(),
+            key=lambda f: f.position.distance_to(position),
+        )
+
     # ------------------------------------------------------------------
     # Insertion and replacement
     # ------------------------------------------------------------------

@@ -1,0 +1,17 @@
+"""Fault injection: scripted link/server/client failures for any run."""
+
+from .injector import FaultInjector
+from .schedule import (
+    ClientOutage,
+    FaultSchedule,
+    LinkDegradation,
+    ServerStall,
+)
+
+__all__ = [
+    "ClientOutage",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkDegradation",
+    "ServerStall",
+]

@@ -1,0 +1,165 @@
+"""Declarative fault schedules for the online runtime.
+
+A :class:`FaultSchedule` scripts *when* things go wrong during a run, in
+simulated milliseconds, independent of which system is running — the
+same schedule can be applied to Coterie, Multi-Furion, and Thin-client
+so their degradation behaviour is directly comparable.  Three fault
+kinds cover the failure modes that matter for shared-WiFi VR:
+
+* :class:`LinkDegradation` — an interference window: the medium serves at
+  a fraction of nominal capacity and/or carries extra bursty loss.  These
+  windows are compiled into the link-impairment model's
+  :class:`~repro.net.impairment.DipEpisode` schedule.
+* :class:`ServerStall` — the frame server responds slowly (GC pause,
+  overload): every fetch issued during the window pays extra latency.
+* :class:`ClientOutage` — a player's device drops off the network (or the
+  player pauses); the client produces no frames until the window ends and
+  then must recover (Coterie re-warms its frame cache on reconnect).
+
+Schedules are plain frozen dataclasses — hashable, comparable, trivially
+serialisable — and :meth:`FaultSchedule.parse` reads the compact CLI
+spec, e.g. ``"dip@3000-8000:0.02,stall@1000-1500:25,outage@2000-4000:1"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..net.impairment import DipEpisode
+
+
+def _check_window(start_ms: float, end_ms: float) -> None:
+    if start_ms < 0 or end_ms <= start_ms:
+        raise ValueError("fault window must satisfy 0 <= start < end")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """An interference window on the shared medium."""
+
+    start_ms: float
+    end_ms: float
+    capacity_factor: float = 1.0  # fraction of nominal capacity left
+    loss_rate: float = 0.0  # extra bursty loss during the window
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.end_ms)
+        if not 0.0 < self.capacity_factor <= 1.0:
+            raise ValueError("capacity_factor must be in (0, 1]")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def to_dip(self) -> DipEpisode:
+        """The equivalent impairment-model episode."""
+        return DipEpisode(
+            start_ms=self.start_ms,
+            end_ms=self.end_ms,
+            capacity_factor=self.capacity_factor,
+            loss_rate=self.loss_rate,
+        )
+
+
+@dataclass(frozen=True)
+class ServerStall:
+    """A window during which the frame server responds slowly."""
+
+    start_ms: float
+    end_ms: float
+    extra_ms: float = 25.0  # added response latency per fetch
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.end_ms)
+        if self.extra_ms < 0:
+            raise ValueError("extra_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClientOutage:
+    """A window during which one (or every) client is disconnected."""
+
+    start_ms: float
+    end_ms: float
+    player_id: int = -1  # -1: every player
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.end_ms)
+        if self.player_id < -1:
+            raise ValueError("player_id must be >= -1")
+
+    def covers(self, player_id: int, now_ms: float) -> bool:
+        """Whether this outage pauses ``player_id`` at ``now_ms``."""
+        if self.player_id not in (-1, player_id):
+            return False
+        return self.start_ms <= now_ms < self.end_ms
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything scripted to go wrong during one run."""
+
+    link: Tuple[LinkDegradation, ...] = ()
+    stalls: Tuple[ServerStall, ...] = ()
+    outages: Tuple[ClientOutage, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.link or self.stalls or self.outages)
+
+    def dips(self) -> Tuple[DipEpisode, ...]:
+        """The link windows as impairment-model dip episodes."""
+        return tuple(window.to_dip() for window in self.link)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        """Parse the compact CLI syntax into a schedule.
+
+        Comma-separated entries of ``kind@start-end[:arg]`` (times in
+        simulated ms):
+
+        * ``dip@3000-8000:0.02`` — capacity drops to 2 % of nominal;
+        * ``loss@3000-8000:0.3`` — 30 % bursty loss in the window;
+        * ``stall@1000-1500:25`` — server adds 25 ms per fetch;
+        * ``outage@2000-4000:1`` — player 1 disconnects (``all`` or no
+          arg: every player).
+        """
+        link = []
+        stalls = []
+        outages = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            try:
+                kind, rest = entry.split("@", 1)
+                window, _, arg = rest.partition(":")
+                start_s, end_s = window.split("-", 1)
+                start_ms, end_ms = float(start_s), float(end_s)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault entry {entry!r}; expected kind@start-end[:arg]"
+                ) from exc
+            kind = kind.strip().lower()
+            if kind == "dip":
+                link.append(LinkDegradation(
+                    start_ms, end_ms,
+                    capacity_factor=float(arg) if arg else 0.1,
+                ))
+            elif kind == "loss":
+                link.append(LinkDegradation(
+                    start_ms, end_ms,
+                    loss_rate=float(arg) if arg else 0.2,
+                ))
+            elif kind == "stall":
+                stalls.append(ServerStall(
+                    start_ms, end_ms,
+                    extra_ms=float(arg) if arg else 25.0,
+                ))
+            elif kind == "outage":
+                player = -1 if arg in ("", "all") else int(arg)
+                outages.append(ClientOutage(start_ms, end_ms, player_id=player))
+            else:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; use dip/loss/stall/outage"
+                )
+        return cls(link=tuple(link), stalls=tuple(stalls),
+                   outages=tuple(outages))

@@ -4,6 +4,7 @@ from .collector import (
     TARGET_FRAME_MS,
     FrameRecord,
     MetricsCollector,
+    ResilienceStats,
     SessionMetrics,
 )
 from .power import BATTERY_WH, PowerModel
@@ -27,6 +28,7 @@ __all__ = [
     "MetricsCollector",
     "PIXEL2_THERMAL_LIMIT_C",
     "PowerModel",
+    "ResilienceStats",
     "ResourceTimeline",
     "TimelinePoint",
     "SessionMetrics",

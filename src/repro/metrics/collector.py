@@ -28,12 +28,25 @@ class FrameRecord:
     frame_bytes: int = 0  # wire size of any frame fetched this interval
     cache_hit: Optional[bool] = None  # far-BE cache outcome (None: no cache)
     displayed_ssim: Optional[float] = None  # vs. reference, when computed
+    deadline_missed: bool = False  # prefetch blew its per-frame deadline
+    stale_age_ms: Optional[float] = None  # age of a stale fallback frame
 
     def __post_init__(self) -> None:
         if self.interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
         if self.render_ms < 0 or self.responsiveness_ms < 0 or self.net_delay_ms < 0:
             raise ValueError("latencies must be non-negative")
+        if self.stale_age_ms is not None and self.stale_age_ms < 0:
+            raise ValueError("stale_age_ms must be non-negative")
+
+
+@dataclass
+class ResilienceStats:
+    """Per-player degraded-mode counters not tied to a single frame."""
+
+    fetch_retries: int = 0  # background re-issues after a fetch timeout
+    fetches_abandoned: int = 0  # fetches given up after the retry cap
+    rewarm_fetches: int = 0  # cache re-warms after a reconnect
 
 
 @dataclass
@@ -50,6 +63,14 @@ class SessionMetrics:
     cache_hit_ratio: Optional[float]
     mean_ssim: Optional[float]
     frames: int
+    # Degraded-mode outcomes; all zero on a clean run.
+    deadline_miss_rate: float = 0.0
+    stale_frames: int = 0
+    mean_stale_age_ms: float = 0.0
+    max_stale_age_ms: float = 0.0
+    fetch_retries: int = 0
+    fetches_abandoned: int = 0
+    rewarm_fetches: int = 0
 
 
 class MetricsCollector:
@@ -57,6 +78,7 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self.records: List[FrameRecord] = []
+        self.resilience = ResilienceStats()
 
     def add(self, record: FrameRecord) -> None:
         """Record one displayed frame."""
@@ -122,8 +144,47 @@ class MetricsCollector:
         """Total wire bytes fetched during the session."""
         return sum(r.frame_bytes for r in self.records)
 
+    def deadline_miss_rate(self) -> float:
+        """Fraction of frames whose prefetch missed its deadline."""
+        if not self.records:
+            return 0.0
+        return sum(r.deadline_missed for r in self.records) / len(self.records)
+
+    def stale_ages(self) -> List[float]:
+        """Stale-fallback ages of the frames that displayed one."""
+        return [r.stale_age_ms for r in self.records if r.stale_age_ms is not None]
+
+    def recovery_ms(
+        self,
+        after_ms: float,
+        target_fps: float = 55.0,
+        window: int = 30,
+    ) -> Optional[float]:
+        """Time from ``after_ms`` until FPS is steady again, or None.
+
+        Slides a ``window``-frame window over the records displayed after
+        ``after_ms``; recovery is the first instant the window's mean
+        interval meets ``target_fps`` *and* contains no deadline miss —
+        i.e. the client is back to fetching fresh frames at full rate.
+        """
+        if target_fps <= 0 or window < 1:
+            raise ValueError("target_fps and window must be positive")
+        budget_ms = 1000.0 / target_fps
+        tail = [r for r in self.records if r.t_ms >= after_ms]
+        if len(tail) < window:
+            return None
+        for i in range(len(tail) - window + 1):
+            chunk = tail[i:i + window]
+            mean_interval = sum(r.interval_ms for r in chunk) / window
+            if mean_interval <= budget_ms and not any(
+                r.deadline_missed for r in chunk
+            ):
+                return max(0.0, chunk[-1].t_ms - after_ms)
+        return None
+
     def summary(self, cpu_utilization: float) -> SessionMetrics:
         """Aggregate into one SessionMetrics row."""
+        ages = self.stale_ages()
         return SessionMetrics(
             fps=self.fps(),
             inter_frame_ms=self.inter_frame_ms(),
@@ -135,4 +196,11 @@ class MetricsCollector:
             cache_hit_ratio=self.cache_hit_ratio(),
             mean_ssim=self.mean_ssim(),
             frames=len(self.records),
+            deadline_miss_rate=self.deadline_miss_rate(),
+            stale_frames=len(ages),
+            mean_stale_age_ms=mean(ages) if ages else 0.0,
+            max_stale_age_ms=max(ages) if ages else 0.0,
+            fetch_retries=self.resilience.fetch_retries,
+            fetches_abandoned=self.resilience.fetches_abandoned,
+            rewarm_fetches=self.resilience.rewarm_fetches,
         )

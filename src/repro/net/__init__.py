@@ -1,6 +1,23 @@
-"""Network substrate: shared 802.11ac link and PUN-like FI sync."""
+"""Network substrate: shared 802.11ac link, impairment, PUN-like FI sync."""
 
+from .impairment import (
+    DipEpisode,
+    ImpairmentConfig,
+    ImpairmentStats,
+    LinkImpairment,
+    TransferImpairment,
+)
 from .link import MBIT, WifiLink
 from .pun import PunChannel, PunConfig
 
-__all__ = ["MBIT", "PunChannel", "PunConfig", "WifiLink"]
+__all__ = [
+    "DipEpisode",
+    "ImpairmentConfig",
+    "ImpairmentStats",
+    "LinkImpairment",
+    "MBIT",
+    "PunChannel",
+    "PunConfig",
+    "TransferImpairment",
+    "WifiLink",
+]

@@ -1,0 +1,217 @@
+"""Seeded, deterministic WiFi-link impairment: bursty loss, jitter, dips.
+
+The clean :class:`~repro.net.link.WifiLink` reproduces the paper's
+testbed on a good day; this module models the bad days that dominate real
+deployments (OpenUVR names WiFi interference as the primary failure mode
+for untethered VR streaming).  Three composable mechanisms:
+
+* **Bursty packet loss** — a Gilbert–Elliott two-state Markov chain
+  walked per MTU-sized segment.  Entering the *bad* state drops the
+  segment; each loss *burst* costs one TCP-like retransmit timeout whose
+  backoff doubles for back-to-back bursts (capped), and every lost
+  segment is retransmitted, inflating the bytes actually on the air.
+* **Latency jitter** — a log-normal extra delay per transfer
+  (``median * exp(sigma * N(0,1))``), the classic heavy-tailed shape of
+  wireless MAC service times.
+* **Capacity-dip episodes** — scheduled interference windows during which
+  the medium serves at a fraction of its nominal capacity (and may carry
+  extra loss).  A transfer starting inside a window is slowed for its
+  whole life, which is exactly how a TCP flow that enters an interference
+  burst behaves.
+
+Determinism: one ``random.Random(seed)`` consumed in transfer-submission
+order.  The simulator resumes same-timestamp processes in FIFO order, so
+a (schedule, seed) pair replays bit-identically — no wall-clock anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DipEpisode:
+    """One scheduled interference window on the medium."""
+
+    start_ms: float
+    end_ms: float
+    capacity_factor: float = 1.0  # fraction of nominal capacity available
+    loss_rate: float = 0.0  # extra packet loss while the window is active
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0 or self.end_ms <= self.start_ms:
+            raise ValueError("dip window must satisfy 0 <= start < end")
+        if not 0.0 < self.capacity_factor <= 1.0:
+            raise ValueError("capacity_factor must be in (0, 1]")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def active_at(self, now_ms: float) -> bool:
+        """Whether the window covers the instant ``now_ms``."""
+        return self.start_ms <= now_ms < self.end_ms
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Knobs of the impairment model; the default is the identity.
+
+    ``loss_rate`` is the *long-run* segment loss probability; the
+    Gilbert–Elliott transition probabilities are derived from it and
+    ``burstiness`` (the probability of staying in the bad state, i.e.
+    the mean bad burst is ``1 / (1 - burstiness)`` segments).
+    """
+
+    loss_rate: float = 0.0
+    burstiness: float = 0.85
+    jitter_median_ms: float = 0.0
+    jitter_sigma: float = 0.35
+    rto_ms: float = 40.0  # base retransmit timeout per loss burst
+    rto_backoff_cap: int = 3  # max doublings for back-to-back bursts
+    mtu_bytes: int = 1448  # segment size the loss chain is walked over
+    seed: int = 0
+    dips: Tuple[DipEpisode, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.burstiness < 1.0:
+            raise ValueError("burstiness must be in [0, 1)")
+        if self.jitter_median_ms < 0 or self.jitter_sigma < 0:
+            raise ValueError("jitter parameters must be non-negative")
+        if self.rto_ms < 0 or self.rto_backoff_cap < 0:
+            raise ValueError("rto parameters must be non-negative")
+        if self.mtu_bytes < 1:
+            raise ValueError("mtu_bytes must be >= 1")
+
+    @classmethod
+    def bursty(cls, loss_rate: float, seed: int = 0,
+               dips: Tuple[DipEpisode, ...] = ()) -> "ImpairmentConfig":
+        """Impaired-WiFi preset: bursty loss plus mild heavy-tail jitter."""
+        return cls(
+            loss_rate=loss_rate,
+            jitter_median_ms=0.4 if loss_rate > 0 else 0.0,
+            seed=seed,
+            dips=dips,
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the config perturbs nothing (clean-link equivalent)."""
+        return (
+            self.loss_rate == 0.0
+            and self.jitter_median_ms == 0.0
+            and not self.dips
+        )
+
+
+@dataclass(frozen=True)
+class TransferImpairment:
+    """What the model decided for one transfer at submission time."""
+
+    extra_latency_ms: float  # retransmit timeouts + jitter, after service
+    work_scale: float  # multiplier on the submitted work (>= 1.0)
+    lost_segments: int
+    bursts: int
+
+
+@dataclass
+class ImpairmentStats:
+    """Running totals over a link's lifetime (benchmark reporting)."""
+
+    transfers: int = 0
+    segments: int = 0
+    lost_segments: int = 0
+    bursts: int = 0
+    extra_latency_ms: float = 0.0
+    dip_transfers: int = 0
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Fraction of segments the chain actually dropped."""
+        if self.segments == 0:
+            return 0.0
+        return self.lost_segments / self.segments
+
+
+class LinkImpairment:
+    """Stateful sampler applying an :class:`ImpairmentConfig` to transfers.
+
+    The Gilbert–Elliott chain state persists *across* transfers, so a bad
+    burst straddling two frames hits both — that temporal correlation is
+    what makes bursty loss qualitatively different from i.i.d. loss.
+    """
+
+    def __init__(self, config: ImpairmentConfig) -> None:
+        self.config = config
+        self.stats = ImpairmentStats()
+        self._rng = random.Random(config.seed)
+        self._bad = False  # Gilbert-Elliott chain state
+
+    def capacity_factor(self, now_ms: float) -> float:
+        """Medium capacity fraction at ``now_ms`` (dip windows stack by min)."""
+        factor = 1.0
+        for dip in self.config.dips:
+            if dip.active_at(now_ms):
+                factor = min(factor, dip.capacity_factor)
+        return factor
+
+    def _loss_rate_at(self, now_ms: float) -> float:
+        loss = self.config.loss_rate
+        for dip in self.config.dips:
+            if dip.active_at(now_ms):
+                loss = max(loss, dip.loss_rate)
+        return loss
+
+    def sample(self, now_ms: float, size_bytes: float) -> TransferImpairment:
+        """Draw one transfer's impairment (consumes the seeded RNG)."""
+        cfg = self.config
+        segments = max(1, math.ceil(size_bytes / cfg.mtu_bytes))
+        loss = self._loss_rate_at(now_ms)
+        lost = 0
+        bursts = 0
+        penalty_ms = 0.0
+        if loss > 0.0:
+            # Simplified Gilbert model: every bad-state segment is dropped.
+            # Stationary bad probability equals the target loss rate.
+            p_bg = 1.0 - cfg.burstiness
+            p_gb = min(1.0, loss * p_bg / max(1e-12, 1.0 - loss))
+            in_burst = False
+            for _ in range(segments):
+                if self._bad:
+                    lost += 1
+                    if not in_burst:
+                        # A fresh burst costs one RTO; consecutive bursts
+                        # escalate the backoff like TCP's timer doubling.
+                        exponent = min(bursts, cfg.rto_backoff_cap)
+                        penalty_ms += cfg.rto_ms * (2.0 ** exponent)
+                        bursts += 1
+                        in_burst = True
+                    self._bad = self._rng.random() < cfg.burstiness
+                else:
+                    in_burst = False
+                    self._bad = self._rng.random() < p_gb
+        jitter_ms = 0.0
+        if cfg.jitter_median_ms > 0.0:
+            jitter_ms = cfg.jitter_median_ms * math.exp(
+                cfg.jitter_sigma * self._rng.gauss(0.0, 1.0)
+            )
+        factor = self.capacity_factor(now_ms)
+        # Lost segments are retransmitted (more bytes on the air); a dip
+        # stretches service for the transfer's whole lifetime.
+        work_scale = ((segments + lost) / segments) / factor
+        self.stats.transfers += 1
+        self.stats.segments += segments
+        self.stats.lost_segments += lost
+        self.stats.bursts += bursts
+        self.stats.extra_latency_ms += penalty_ms + jitter_ms
+        if factor < 1.0:
+            self.stats.dip_transfers += 1
+        return TransferImpairment(
+            extra_latency_ms=penalty_ms + jitter_ms,
+            work_scale=work_scale,
+            lost_segments=lost,
+            bursts=bursts,
+        )

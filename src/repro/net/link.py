@@ -14,9 +14,10 @@ Table 9's bandwidth split (BE frames vs FI sync traffic).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict
+from typing import Dict, Optional
 
 from ..sim import Event, FluidShareServer, Simulator
+from .impairment import LinkImpairment
 
 MBIT = 1_000_000.0
 
@@ -35,6 +36,7 @@ class WifiLink:
         capacity_mbps: float = 500.0,
         overhead_ms: float = 1.5,
         stations: int = 1,
+        impairment: Optional[LinkImpairment] = None,
     ) -> None:
         if capacity_mbps <= 0:
             raise ValueError("capacity_mbps must be positive")
@@ -50,6 +52,10 @@ class WifiLink:
             capacity=capacity_mbps * self.mac_efficiency / 1000.0,
             overhead_ms=overhead_ms,
         )
+        # Optional seeded impairment (loss/jitter/dips); None = clean link
+        # with the exact historical behaviour.
+        self.impairment = impairment
+        self._relayed: Dict[Event, Event] = {}  # impaired outer -> medium event
         self._tag_bytes: Dict[str, float] = defaultdict(float)
         self._first_activity_ms = None
 
@@ -59,13 +65,48 @@ class WifiLink:
 
     def transfer(self, size_bytes: float, tag: str = "be") -> Event:
         """Send ``size_bytes`` over the medium; completion event's value is
-        the transfer duration in ms (including queueing under contention)."""
+        the transfer duration in ms (including queueing under contention).
+
+        Zero-byte transfers complete immediately without paying the MAC
+        overhead — nothing is put on the air.
+        """
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
+        if not tag:
+            raise ValueError("tag must be a non-empty string")
+        if size_bytes == 0:
+            done = self.sim.event()
+            done.succeed(0.0)
+            return done
         self._note_activity()
         self._tag_bytes[tag] += size_bytes
         megabits = size_bytes * 8.0 / MBIT
-        return self._medium.submit(megabits)
+        if self.impairment is None:
+            return self._medium.submit(megabits)
+        drawn = self.impairment.sample(self.sim.now, size_bytes)
+        inner = self._medium.submit(megabits * drawn.work_scale)
+        outer = self.sim.event()
+        self._relayed[outer] = inner
+
+        def relay():
+            service_ms = yield inner
+            if drawn.extra_latency_ms > 0:
+                yield drawn.extra_latency_ms
+            self._relayed.pop(outer, None)
+            outer.succeed(service_ms + drawn.extra_latency_ms)
+
+        self.sim.spawn(relay())
+        return outer
+
+    def abort(self, event: Event) -> bool:
+        """Abandon a pending transfer (retry/backoff path).
+
+        The medium stops serving it and ``event`` never fires; the bytes
+        already counted stay counted (they were attempted on the air).
+        Returns False if the transfer had already completed.
+        """
+        inner = self._relayed.pop(event, event)
+        return self._medium.cancel(inner)
 
     def record_datagram(self, size_bytes: float, tag: str = "fi") -> None:
         """Account small UDP traffic without simulating its service time.
@@ -76,6 +117,8 @@ class WifiLink:
         """
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
+        if not tag:
+            raise ValueError("tag must be a non-empty string")
         self._note_activity()
         self._tag_bytes[tag] += size_bytes
 

@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate (engine + shared resources)."""
 
-from .engine import Event, SimulationError, Simulator, all_of
+from .engine import Event, SimulationError, Simulator, all_of, any_of
 from .resources import FluidShareServer, Queue, Semaphore
 
 __all__ = [
@@ -11,4 +11,5 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "all_of",
+    "any_of",
 ]

@@ -169,6 +169,31 @@ class Simulator:
         return len(self._queue)
 
 
+def any_of(sim: Simulator, events: List[Event]) -> Event:
+    """An event that fires as soon as the *first* event in ``events`` fires.
+
+    Its value is the ``(event, value)`` pair of the winner, so callers can
+    tell which constituent resolved the race (e.g. "did the transfer beat
+    the prefetch deadline?").  Later events still trigger normally; their
+    values are simply not delivered through the combined event.
+    """
+    if not events:
+        raise SimulationError("any_of needs at least one event")
+    combined = sim.event()
+
+    def make_waiter(ev: Event) -> ProcessGen:
+        def waiter() -> ProcessGen:
+            value = yield ev
+            if not combined.triggered:
+                combined.succeed((ev, value))
+
+        return waiter()
+
+    for ev in events:
+        sim.spawn(make_waiter(ev))
+    return combined
+
+
 def all_of(sim: Simulator, events: List[Event]) -> Event:
     """An event that fires when every event in ``events`` has fired.
 

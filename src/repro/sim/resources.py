@@ -49,6 +49,7 @@ class FluidShareServer:
         self.capacity = capacity
         self.overhead_ms = overhead_ms
         self._flows: Dict[int, _Flow] = {}
+        self._cancelled: set = set()  # done-events withdrawn before service
         self._next_id = 0
         self._last_update = 0.0
         self._completion_token = 0  # invalidates stale completion callbacks
@@ -77,6 +78,27 @@ class FluidShareServer:
             self._start_flow(work, done)
         return done
 
+    def cancel(self, done: Event) -> bool:
+        """Withdraw the job whose completion event is ``done``.
+
+        The job stops consuming capacity immediately and ``done`` never
+        fires (callers racing it against a timeout must stop waiting on
+        it).  Returns False when the job already completed — the caller's
+        retry then raced a success and should treat it as such.
+        """
+        for flow_id, flow in self._flows.items():
+            if flow.done is done:
+                self._advance()
+                del self._flows[flow_id]
+                self._reschedule_completion()
+                return True
+        if done in self._cancelled or done.triggered:
+            return False
+        # Still in its pre-service overhead wait: mark it so _start_flow
+        # drops it instead of admitting it.
+        self._cancelled.add(done)
+        return True
+
     def utilization(self, horizon_ms: float) -> float:
         """Fraction of ``horizon_ms`` during which the server was busy."""
         if horizon_ms <= 0:
@@ -87,6 +109,9 @@ class FluidShareServer:
     # ------------------------------------------------------------------
 
     def _start_flow(self, work: float, done: Event) -> None:
+        if done in self._cancelled:
+            self._cancelled.discard(done)
+            return
         self._advance()
         flow = _Flow(
             flow_id=self._next_id,

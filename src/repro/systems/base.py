@@ -17,21 +17,30 @@ from typing import List, Optional
 
 import numpy as np
 
+import dataclasses
+
 from ..codec import CodecTiming, FrameCodec
+from ..faults import FaultInjector, FaultSchedule
 from ..metrics import (
     CpuModel,
+    FrameRecord,
     MetricsCollector,
     PowerModel,
     SessionMetrics,
     ThermalModel,
 )
-from ..net import PunChannel, WifiLink
+from ..net import ImpairmentConfig, LinkImpairment, PunChannel, WifiLink
 from ..render import PIXEL2, DeviceProfile, RenderConfig, RenderCostModel
 from ..sim import Simulator
 from ..trace import Trajectory, generate_party
 from ..world.games import GameWorld
 
 SENSOR_SCANOUT_MS = 0.5  # pose sampling + display scanout overhead
+
+# Minimum process yield: a client whose pipeline is slower than its
+# transfer must still cede the simulator, or it could re-enter its loop
+# at the exact same timestamp forever (busy-spin hazard).
+MIN_YIELD_MS = 1e-3
 
 
 @dataclass
@@ -48,12 +57,38 @@ class SessionConfig:
     render_frames: bool = False  # True: full-fidelity frames (slow)
     cache_capacity_bytes: int = 512 * 1024 * 1024
     cache_policy: str = "lru"
+    # --- robustness (all default-off: clean runs are bit-identical) ---
+    impairment: Optional[ImpairmentConfig] = None  # link loss/jitter/dips
+    faults: Optional[FaultSchedule] = None  # scripted failure windows
+    prefetch_deadline_ms: Optional[float] = None  # None: frame budget - merge
+    fetch_timeout_ms: float = 250.0  # first background-retry timeout
+    fetch_max_retries: int = 5  # background re-issues before giving up
+    fetch_backoff_cap_ms: float = 2000.0  # retry timeout ceiling
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.wifi_mbps <= 0:
             raise ValueError("wifi_mbps must be positive")
+        if self.prefetch_deadline_ms is not None and self.prefetch_deadline_ms <= 0:
+            raise ValueError("prefetch_deadline_ms must be positive")
+        if self.fetch_timeout_ms <= 0 or self.fetch_backoff_cap_ms <= 0:
+            raise ValueError("fetch timeouts must be positive")
+        if self.fetch_max_retries < 0:
+            raise ValueError("fetch_max_retries must be non-negative")
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Whether any robustness machinery is active for this run.
+
+        False for the default config: the clean fast path is untouched,
+        keeping pre-robustness runs bit-identical.
+        """
+        return (
+            self.impairment is not None
+            or self.faults is not None
+            or self.prefetch_deadline_ms is not None
+        )
 
 
 @dataclass
@@ -68,6 +103,15 @@ class PlayerResult:
     # SSIM across each far-BE source switch (full-fidelity Coterie runs
     # only); feeds the §7.4 user-study model.
     switch_ssims: List[float] = field(default_factory=list)
+    # Raw per-frame records, for timeline analyses (recovery curves).
+    records: List[FrameRecord] = field(default_factory=list)
+
+    def recovery_ms(self, after_ms: float, target_fps: float = 55.0,
+                    window: int = 30) -> Optional[float]:
+        """Time from ``after_ms`` until FPS is steady again (see collector)."""
+        collector = MetricsCollector()
+        collector.records = self.records
+        return collector.recovery_ms(after_ms, target_fps, window)
 
 
 @dataclass
@@ -121,11 +165,13 @@ class Session:
         self.n_players = n_players
         self.config = config
         self.sim = Simulator()
+        self.faults = FaultInjector(config.faults) if config.faults else None
         self.link = WifiLink(
             self.sim,
             capacity_mbps=config.wifi_mbps,
             overhead_ms=config.wifi_overhead_ms,
             stations=n_players,
+            impairment=self._build_impairment(),
         )
         self.pun = PunChannel(
             self.sim, self.link, n_players, seed=config.seed + 77
@@ -139,6 +185,50 @@ class Session:
         self.collectors = [MetricsCollector() for _ in range(n_players)]
         self.fi_ms = self.cost_model.fi_ms(world.spec.fi_triangles)
         self.horizon_ms = config.duration_s * 1000.0
+
+    def _build_impairment(self) -> Optional[LinkImpairment]:
+        """Compose the configured impairment with fault-schedule windows.
+
+        Returns None when nothing impairs the link, preserving the clean
+        fast path exactly.
+        """
+        config = self.config
+        dips = config.faults.dips() if config.faults else ()
+        base = config.impairment
+        if base is None and not dips:
+            return None
+        if base is None:
+            base = ImpairmentConfig(seed=config.seed + 104729)
+        if dips:
+            base = dataclasses.replace(base, dips=base.dips + dips)
+        return LinkImpairment(base)
+
+    # ------------------------------------------------------------------
+    # Fault queries (uniform across all system loops)
+    # ------------------------------------------------------------------
+
+    def server_stall_ms(self, now_ms: float) -> float:
+        """Scripted extra server latency for a fetch issued now."""
+        if self.faults is None:
+            return 0.0
+        return self.faults.server_stall_ms(now_ms)
+
+    def outage_resume_ms(self, player_id: int, now_ms: float) -> Optional[float]:
+        """End of the outage pausing ``player_id`` now, or None if online."""
+        if self.faults is None:
+            return None
+        return self.faults.outage_resume_ms(player_id, now_ms)
+
+    def prefetch_deadline_ms(self) -> float:
+        """Per-frame prefetch deadline derived from the frame budget.
+
+        Eq. 2 adds the merge stage after the concurrent tasks, so for the
+        display to hold 60 FPS the prefetch must land within the frame
+        budget minus the merge time.
+        """
+        if self.config.prefetch_deadline_ms is not None:
+            return self.config.prefetch_deadline_ms
+        return max(1.0, 1000.0 / 60.0 - self.config.device.merge_ms)
 
     def position_at(self, player: int, t_ms: float):
         """Time-indexed trajectory lookup (players move in real time even
@@ -178,6 +268,7 @@ class Session:
                     switch_ssims=(
                         switch_ssims[player_id] if switch_ssims else []
                     ),
+                    records=list(collector.records),
                 )
             )
         return RunResult(

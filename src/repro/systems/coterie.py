@@ -16,12 +16,28 @@ Two fidelity modes:
   displayed-frame SSIM against the all-local reference is sampled every
   ``ssim_stride`` frames, and far-BE switch SSIMs are recorded for the
   user-study model (Tables 7 and 10).
+
+Graceful degradation (active only when the session config enables
+impairment, faults, or an explicit prefetch deadline — the clean default
+path is untouched):
+
+* each prefetch races a **deadline** derived from the frame budget
+  (Eq. 2: budget minus merge); a fetch that loses the race does not stall
+  the display — the client shows the *nearest cached* far-BE panorama
+  instead (frame similarity, §4.6, keeps a nearby stale frame
+  perceptually close) and records the stale age;
+* the late fetch continues in the **background** with a timeout and
+  capped exponential-backoff retries (abandoned attempts are withdrawn
+  from the medium), so one interference burst cannot pile up transfers;
+* after a scripted disconnect the client **re-warms** its cache with a
+  blocking fetch on reconnect before resuming its normal cadence.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from .. import perf
 from ..core.cache import FrameCache
 from ..core.pipeline import PipelineTimings, frame_interval_ms
 from ..core.prefetch import Prefetcher
@@ -29,9 +45,16 @@ from ..core.preprocess import OfflineArtifacts, PanoramaStore
 from ..metrics import CpuModel, FrameRecord
 from ..render.splitter import eye_at, reference_frame, render_fi, render_near_be
 from ..similarity import ssim
+from ..sim import any_of
 from ..trace import avatars_at
 from ..world.games import GameWorld
-from .base import SENSOR_SCANOUT_MS, RunResult, Session, SessionConfig
+from .base import (
+    MIN_YIELD_MS,
+    SENSOR_SCANOUT_MS,
+    RunResult,
+    Session,
+    SessionConfig,
+)
 
 
 def run_coterie(
@@ -89,32 +112,147 @@ def run_coterie(
     switch_ssims: List[List[float]] = [[] for _ in range(n_players)]
     last_far = [None] * n_players
     frame_counters = [0] * n_players
+    degraded = config.degraded_mode
+    # Per-player degradation state: an in-flight background fetch (at most
+    # one — a second would just contend with the first), and a pending
+    # cache re-warm after a reconnect.
+    pending_fetch = [False] * n_players
+    needs_rewarm = [False] * n_players
+
+    def admit_all(decision, stored, frame_bytes, now_ms, player_id):
+        """Admit a fetched frame, mirroring to other caches if overhearing."""
+        cached = prefetchers[player_id].admit(
+            decision, stored, frame_bytes, now_ms, origin_player=player_id
+        )
+        if overhear:
+            for other in range(n_players):
+                if other != player_id:
+                    prefetchers[other].admit(
+                        decision, stored, frame_bytes, now_ms,
+                        origin_player=player_id,
+                    )
+        return cached
+
+    def background_fetch(player_id, decision, stored, frame_bytes, first_ev):
+        """Finish a deadline-missed fetch off the display's critical path.
+
+        Waits with a timeout; on timeout the attempt is withdrawn from
+        the medium and re-issued with exponentially backed-off patience,
+        capped, until the frame lands or the retry budget is spent.
+        """
+        resilience = session.collectors[player_id].resilience
+        ev = first_ev
+        timeout_ms = config.fetch_timeout_ms
+        for attempt in range(config.fetch_max_retries + 1):
+            if attempt > 0:
+                resilience.fetch_retries += 1
+                perf.count("resilience.fetch_retries")
+                ev = session.link.transfer(frame_bytes, tag="be")
+            yield any_of(sim, [ev, sim.timeout(timeout_ms)])
+            if not ev.triggered and session.link.abort(ev):
+                timeout_ms = min(timeout_ms * 2.0, config.fetch_backoff_cap_ms)
+                continue
+            if not ev.triggered:
+                # Completion raced the timeout (e.g. mid-jitter); the
+                # event is about to fire — wait it out.
+                yield ev
+            admit_all(decision, stored, frame_bytes, sim.now, player_id)
+            pending_fetch[player_id] = False
+            return
+        resilience.fetches_abandoned += 1
+        perf.count("resilience.fetches_abandoned")
+        pending_fetch[player_id] = False
 
     def client(player_id: int):
         prefetcher = prefetchers[player_id]
+        collector = session.collectors[player_id]
         while sim.now < session.horizon_ms:
+            if degraded:
+                resume = session.outage_resume_ms(player_id, sim.now)
+                if resume is not None and resume > sim.now:
+                    # Disconnected: produce no frames until the outage
+                    # ends, then re-warm the cache before resuming.
+                    yield resume - sim.now
+                    needs_rewarm[player_id] = True
+                    continue
             t0 = sim.now
             sample = session.position_at(player_id, t0)
             decision = prefetcher.plan(sample.position, sample.heading, t0)
 
             frame_bytes = 0
             transfer_ms = 0.0
+            deadline_missed = False
+            stale_age_ms = None
             if decision.needs_fetch or not use_cache:
-                stored = store.frame_for(decision.grid_point)
-                frame_bytes = stored.wire_bytes
-                transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
-                cached = prefetcher.admit(
-                    decision, stored, frame_bytes, t0, origin_player=player_id
-                )
-                if overhear:
-                    for other in range(n_players):
-                        if other != player_id:
-                            prefetchers[other].admit(
-                                decision, stored, frame_bytes, t0,
-                                origin_player=player_id,
+                if not degraded:
+                    # Clean path — identical to the pre-robustness code.
+                    stored = store.frame_for(decision.grid_point)
+                    frame_bytes = stored.wire_bytes
+                    transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
+                    cached = admit_all(decision, stored, frame_bytes, t0, player_id)
+                elif pending_fetch[player_id]:
+                    # Still recovering a late fetch: display the nearest
+                    # stale frame, issue nothing new.
+                    deadline_missed = True
+                    cached = caches[player_id].nearest(decision.position)
+                    if cached is not None:
+                        stale_age_ms = t0 - cached.inserted_ms
+                        perf.count("resilience.stale_frames")
+                else:
+                    stored = store.frame_for(decision.grid_point)
+                    frame_bytes = stored.wire_bytes
+                    stall_ms = session.server_stall_ms(t0)
+                    if stall_ms > 0:
+                        yield stall_ms
+                    transfer_ev = session.link.transfer(frame_bytes, tag="be")
+                    if needs_rewarm[player_id]:
+                        # Reconnect re-warm: block on this fetch so the
+                        # cache is fresh before the cadence resumes.
+                        needs_rewarm[player_id] = False
+                        collector.resilience.rewarm_fetches += 1
+                        perf.count("resilience.rewarm_fetches")
+                        transfer_ms = stall_ms + (yield transfer_ev)
+                        cached = admit_all(
+                            decision, stored, frame_bytes, sim.now, player_id
+                        )
+                    else:
+                        deadline = session.prefetch_deadline_ms()
+                        yield any_of(
+                            sim, [transfer_ev, sim.timeout(deadline)]
+                        )
+                        if transfer_ev.triggered:
+                            transfer_ms = stall_ms + transfer_ev.value
+                            cached = admit_all(
+                                decision, stored, frame_bytes, sim.now, player_id
                             )
+                        else:
+                            deadline_missed = True
+                            perf.count("resilience.deadline_misses")
+                            fallback = caches[player_id].nearest(decision.position)
+                            if fallback is None:
+                                # Nothing cached to show (cold start):
+                                # the display has to wait for the fetch.
+                                transfer_ms = stall_ms + (yield transfer_ev)
+                                cached = admit_all(
+                                    decision, stored, frame_bytes, sim.now,
+                                    player_id,
+                                )
+                            else:
+                                # Stale-frame fallback: keep the display
+                                # at cadence, finish the fetch off-path.
+                                cached = fallback
+                                stale_age_ms = t0 - fallback.inserted_ms
+                                perf.count("resilience.stale_frames")
+                                transfer_ms = stall_ms + deadline
+                                pending_fetch[player_id] = True
+                                sim.spawn(background_fetch(
+                                    player_id, decision, stored, frame_bytes,
+                                    transfer_ev,
+                                ))
             else:
                 cached = decision.cached
+                if degraded:
+                    needs_rewarm[player_id] = False
 
             near_ms = session.cost_model.near_be_ms(
                 world.scene, sample.position, decision.cutoff_radius
@@ -133,7 +271,7 @@ def run_coterie(
 
             displayed_ssim = None
             if config.render_frames:
-                payload = cached.payload
+                payload = cached.payload if cached is not None else None
                 far_image = payload.decoded if payload is not None else None
                 if far_image is not None:
                     if last_far[player_id] is not None and (
@@ -149,7 +287,7 @@ def run_coterie(
                         )
             frame_counters[player_id] += 1
 
-            session.collectors[player_id].add(
+            collector.add(
                 FrameRecord(
                     t_ms=t0 + interval,
                     interval_ms=interval,
@@ -159,11 +297,15 @@ def run_coterie(
                     frame_bytes=frame_bytes,
                     cache_hit=not decision.needs_fetch if use_cache else None,
                     displayed_ssim=displayed_ssim,
+                    deadline_missed=deadline_missed,
+                    stale_age_ms=stale_age_ms,
                 )
             )
             remaining = interval - transfer_ms
-            if remaining > 0:
-                yield remaining
+            # Clamp to a minimum 1-tick yield: a transfer slower than the
+            # interval must not let the loop re-enter plan() at the same
+            # simulated instant (busy-spin hazard).
+            yield remaining if remaining > 0 else MIN_YIELD_MS
 
     def _displayed_ssim(session, world, player_id, sample, decision, far_image):
         """SSIM of the actually displayed frame vs. the all-local reference."""

@@ -23,7 +23,13 @@ from ..core.pipeline import PipelineTimings, frame_interval_ms
 from ..core.preprocess import FrameSizeModel, calibrate_size_model
 from ..metrics import CpuModel, FrameRecord
 from ..world.games import GameWorld
-from .base import SENSOR_SCANOUT_MS, RunResult, Session, SessionConfig
+from .base import (
+    MIN_YIELD_MS,
+    SENSOR_SCANOUT_MS,
+    RunResult,
+    Session,
+    SessionConfig,
+)
 
 _WHOLE_LEAF = (0.0, 0.0, 0.0, 0.0)  # whole-BE frames have no leaf regions
 
@@ -58,6 +64,10 @@ def run_multi_furion(
     def client(player_id: int):
         cache = caches[player_id]
         while sim.now < session.horizon_ms:
+            resume = session.outage_resume_ms(player_id, sim.now)
+            if resume is not None and resume > sim.now:
+                yield resume - sim.now  # disconnected: no frames produced
+                continue
             t0 = sim.now
             sample = session.position_at(player_id, t0)
             grid_point = session.world.grid.snap(sample.position)
@@ -72,7 +82,11 @@ def run_multi_furion(
             transfer_ms = 0.0
             if hit is None:
                 frame_bytes = size_model.sample(grid_point)
-                transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
+                stall_ms = session.server_stall_ms(t0)
+                if stall_ms > 0:
+                    yield stall_ms  # scripted slow server response
+                transfer_ms = stall_ms
+                transfer_ms += yield session.link.transfer(frame_bytes, tag="be")
                 if cache is not None:
                     cache.insert(
                         CachedFrame(
@@ -110,8 +124,9 @@ def run_multi_furion(
                 )
             )
             remaining = interval - transfer_ms
-            if remaining > 0:
-                yield remaining
+            # Minimum 1-tick yield: never re-enter the loop at the same
+            # simulated instant when the transfer ate the whole interval.
+            yield remaining if remaining > 0 else MIN_YIELD_MS
 
     for player_id in range(n_players):
         sim.spawn(client(player_id))

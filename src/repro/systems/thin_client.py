@@ -15,7 +15,13 @@ from ..core.preprocess import FrameSizeModel, calibrate_size_model
 from ..metrics import CpuModel, FrameRecord
 from ..render import GTX1080TI, RenderCostModel
 from ..world.games import GameWorld
-from .base import SENSOR_SCANOUT_MS, RunResult, Session, SessionConfig
+from .base import (
+    MIN_YIELD_MS,
+    SENSOR_SCANOUT_MS,
+    RunResult,
+    Session,
+    SessionConfig,
+)
 
 # Pose upload + server-side session/compositor scheduling per frame; the
 # calibrated residual between the measurable stages and the paper's 41-50 ms
@@ -43,6 +49,10 @@ def run_thin_client(
 
     def client(player_id: int):
         while sim.now < session.horizon_ms:
+            resume = session.outage_resume_ms(player_id, sim.now)
+            if resume is not None and resume > sim.now:
+                yield resume - sim.now  # disconnected: no frames streamed
+                continue
             t0 = sim.now
             sample = session.position_at(player_id, t0)
             grid_point = session.world.grid.snap(sample.position)
@@ -52,6 +62,9 @@ def run_thin_client(
                 session.cost_model.fi_ms(world.spec.fi_triangles) / 10.0,
                 server_model.whole_be_ms(world.scene, sample.position),
             )
+            stall_ms = session.server_stall_ms(t0)
+            if stall_ms > 0:
+                yield stall_ms  # scripted server-side stall
             encode_ms = session.codec_timing.encode_ms(FOUR_K_PIXELS)
             transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
             decode_ms = session.cost_model.decode_ms(3840, 2160)
@@ -59,6 +72,7 @@ def run_thin_client(
             latency = (
                 POSE_UPLOAD_MS
                 + SERVER_SCHEDULING_MS
+                + stall_ms
                 + server_render_ms
                 + encode_ms
                 + transfer_ms
@@ -77,8 +91,8 @@ def run_thin_client(
                 )
             )
             remaining = interval - transfer_ms
-            if remaining > 0:
-                yield remaining
+            # Minimum 1-tick yield (busy-spin hazard; see run_coterie).
+            yield remaining if remaining > 0 else MIN_YIELD_MS
 
     for player_id in range(n_players):
         sim.spawn(client(player_id))

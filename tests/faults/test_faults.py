@@ -1,0 +1,125 @@
+"""Tests for the fault-schedule framework and its injector."""
+
+import pytest
+
+from repro.faults import (
+    ClientOutage,
+    FaultInjector,
+    FaultSchedule,
+    LinkDegradation,
+    ServerStall,
+)
+
+
+class TestScheduleTypes:
+    def test_window_validation(self):
+        for cls in (LinkDegradation, ServerStall, ClientOutage):
+            with pytest.raises(ValueError):
+                cls(100.0, 100.0)
+            with pytest.raises(ValueError):
+                cls(-1.0, 100.0)
+
+    def test_link_degradation_to_dip(self):
+        window = LinkDegradation(100.0, 200.0, capacity_factor=0.25,
+                                 loss_rate=0.1)
+        dip = window.to_dip()
+        assert dip.start_ms == 100.0
+        assert dip.end_ms == 200.0
+        assert dip.capacity_factor == 0.25
+        assert dip.loss_rate == 0.1
+
+    def test_outage_covers(self):
+        mine = ClientOutage(100.0, 200.0, player_id=2)
+        assert mine.covers(2, 150.0)
+        assert not mine.covers(1, 150.0)
+        assert not mine.covers(2, 200.0)
+        everyone = ClientOutage(100.0, 200.0)
+        assert everyone.covers(0, 150.0) and everyone.covers(7, 150.0)
+
+    def test_schedule_truthiness(self):
+        assert not FaultSchedule()
+        assert FaultSchedule(stalls=(ServerStall(0.0, 1.0),))
+
+
+class TestParse:
+    def test_full_spec(self):
+        schedule = FaultSchedule.parse(
+            "dip@3000-8000:0.02, loss@4000-5000:0.3,"
+            "stall@1000-1500:25, outage@2000-4000:1"
+        )
+        assert len(schedule.link) == 2
+        assert schedule.link[0].capacity_factor == 0.02
+        assert schedule.link[1].loss_rate == 0.3
+        assert schedule.stalls[0].extra_ms == 25.0
+        assert schedule.outages[0].player_id == 1
+
+    def test_defaults(self):
+        schedule = FaultSchedule.parse("dip@0-100,loss@0-100,stall@0-100,outage@0-100")
+        assert schedule.link[0].capacity_factor == 0.1
+        assert schedule.link[1].loss_rate == 0.2
+        assert schedule.stalls[0].extra_ms == 25.0
+        assert schedule.outages[0].player_id == -1
+
+    def test_outage_all_keyword(self):
+        schedule = FaultSchedule.parse("outage@0-100:all")
+        assert schedule.outages[0].player_id == -1
+
+    def test_dips_conversion(self):
+        schedule = FaultSchedule.parse("dip@100-200:0.5")
+        (dip,) = schedule.dips()
+        assert dip.capacity_factor == 0.5
+
+    def test_empty_entries_skipped(self):
+        assert not FaultSchedule.parse("")
+        assert len(FaultSchedule.parse("stall@0-100, ,").stalls) == 1
+
+    @pytest.mark.parametrize("bad", [
+        "freeze@0-100",        # unknown kind
+        "dip@100",             # no window
+        "dip@200-100",         # inverted window
+        "stall@0-100:x",       # non-numeric arg
+        "outage@0-100:p1",     # non-integer player
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultSchedule.parse(bad)
+
+
+class TestInjector:
+    def test_stalls_sum_when_overlapping(self):
+        injector = FaultInjector(FaultSchedule(stalls=(
+            ServerStall(0.0, 100.0, extra_ms=10.0),
+            ServerStall(50.0, 150.0, extra_ms=5.0),
+        )))
+        assert injector.server_stall_ms(25.0) == 10.0
+        assert injector.server_stall_ms(75.0) == 15.0
+        assert injector.server_stall_ms(125.0) == 5.0
+        assert injector.server_stall_ms(200.0) == 0.0
+
+    def test_outage_resume(self):
+        injector = FaultInjector(FaultSchedule(outages=(
+            ClientOutage(100.0, 200.0, player_id=0),
+        )))
+        assert injector.outage_resume_ms(0, 50.0) is None
+        assert injector.outage_resume_ms(0, 150.0) == 200.0
+        assert injector.outage_resume_ms(1, 150.0) is None
+
+    def test_back_to_back_outages_chain(self):
+        """A client paused at t must skip through touching windows."""
+        injector = FaultInjector(FaultSchedule(outages=(
+            ClientOutage(100.0, 200.0),
+            ClientOutage(200.0, 300.0),
+            ClientOutage(250.0, 400.0),
+        )))
+        assert injector.outage_resume_ms(0, 150.0) == 400.0
+        assert injector.outage_resume_ms(0, 399.0) == 400.0
+
+    def test_outage_count(self):
+        injector = FaultInjector(FaultSchedule(outages=(
+            ClientOutage(0.0, 1.0, player_id=0),
+            ClientOutage(0.0, 1.0, player_id=1),
+            ClientOutage(0.0, 1.0),
+        )))
+        assert injector.outage_count(0) == 2
+        assert injector.outage_count(1) == 2
+        assert injector.outage_count(5) == 1

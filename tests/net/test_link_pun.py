@@ -49,12 +49,31 @@ class TestWifiLink:
         link = WifiLink(sim, capacity_mbps=100.0, overhead_ms=0.5)
         assert run_transfer(link, 0) == pytest.approx(0.0)
 
+    def test_zero_byte_transfer_short_circuits(self):
+        """Nothing goes on the air: no overhead, no accounting, no busy time."""
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=100.0, overhead_ms=5.0)
+        done = link.transfer(0, tag="be")
+        assert done.triggered  # completes immediately, pre-resolved
+        assert done.value == 0.0
+        assert link.bytes_for("be") == 0.0
+        assert link.active_transfers == 0
+        sim.run_until(100.0)
+        assert link.utilization(100.0) == 0.0
+
     def test_negative_bytes_rejected(self):
         link = WifiLink(Simulator())
         with pytest.raises(ValueError):
             link.transfer(-1)
         with pytest.raises(ValueError):
             link.record_datagram(-1)
+
+    def test_empty_tag_rejected(self):
+        link = WifiLink(Simulator())
+        with pytest.raises(ValueError):
+            link.transfer(1000, tag="")
+        with pytest.raises(ValueError):
+            link.record_datagram(100, tag="")
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
@@ -85,6 +104,58 @@ class TestWifiLink:
         run_transfer(link, 625_000)  # 5 megabits -> 10 ms busy
         sim.run_until(100.0)
         assert link.utilization(100.0) == pytest.approx(0.1, abs=0.02)
+
+
+class TestWifiContention:
+    """The processor-sharing medium under multi-station load."""
+
+    def test_per_tag_accounting_under_contention(self):
+        """Concurrent transfers with distinct tags stay separately counted."""
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0, overhead_ms=0.0)
+
+        def proc(size, tag):
+            yield link.transfer(size, tag)
+
+        sim.spawn(proc(100_000, "be"))
+        sim.spawn(proc(40_000, "be"))
+        sim.spawn(proc(60_000, "rewarm"))
+        sim.run()
+        assert link.bytes_for("be") == 140_000
+        assert link.bytes_for("rewarm") == 60_000
+        assert link.total_bytes() == 200_000
+
+    def test_mac_efficiency_monotonic_in_stations(self):
+        """More contending stations -> strictly less aggregate goodput."""
+        efficiencies = [
+            WifiLink(Simulator(), stations=n).mac_efficiency
+            for n in (1, 2, 4, 8)
+        ]
+        assert efficiencies[0] == 1.0
+        for faster, slower in zip(efficiencies, efficiencies[1:]):
+            assert slower < faster
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_n_concurrent_transfers_share_capacity(self, n):
+        """Each of N simultaneous transfers sees ~capacity/N throughput."""
+        solo = run_transfer(
+            WifiLink(Simulator(), capacity_mbps=500.0, overhead_ms=0.0),
+            550_000,
+        )
+        sim = Simulator()
+        link = WifiLink(sim, capacity_mbps=500.0, overhead_ms=0.0)
+        durations = []
+
+        def proc():
+            d = yield link.transfer(550_000)
+            durations.append(d)
+
+        for _ in range(n):
+            sim.spawn(proc())
+        sim.run()
+        assert len(durations) == n
+        for duration in durations:
+            assert duration == pytest.approx(n * solo, rel=0.01)
 
 
 class TestPunChannel:

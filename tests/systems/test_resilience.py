@@ -1,0 +1,204 @@
+"""Robustness tests: pinned clean-path regression, degradation, recovery.
+
+The graceful-degradation machinery must be invisible when disabled — the
+pinned regression asserts bit-identical results against values captured
+before the robustness PR — and effective when enabled: bounded staleness
+under loss, recovery after outages, and full determinism for a
+(fault schedule, seed) pair regardless of preprocessing parallelism.
+"""
+
+import pytest
+
+from repro.codec import FrameCodec
+from repro.core.preprocess import PreprocessOptions, preprocess_game
+from repro.faults import FaultSchedule
+from repro.net import ImpairmentConfig
+from repro.render import RenderConfig, RenderCostModel
+from repro.systems import (
+    SessionConfig,
+    prepare_artifacts,
+    run_coterie,
+    run_multi_furion,
+    run_thin_client,
+)
+from repro.world import load_game
+
+PINNED_CONFIG = dict(duration_s=4.0, seed=1)
+
+# Captured from the pre-robustness tree (racing, 4 players, the config
+# above).  The default SessionConfig must reproduce these bit-for-bit:
+# the degradation machinery is gated off unless explicitly enabled.
+PINNED_FPS = 60.0
+PINNED_INTER_MS = 16.666666666666664
+PINNED_BE_MBPS = 64.468926
+PINNED_FI_KBPS = 192.0
+PINNED_HIT_RATIO = 0.7297872340425532
+PINNED_FRAMES = [235, 235, 235, 235]
+
+
+@pytest.fixture(scope="module")
+def racing():
+    world = load_game("racing")
+    artifacts = prepare_artifacts(world, SessionConfig(**PINNED_CONFIG))
+    return world, artifacts
+
+
+class TestPinnedCleanPath:
+    def test_clean_run_bit_identical_to_seed(self, racing):
+        world, artifacts = racing
+        result = run_coterie(world, 4, SessionConfig(**PINNED_CONFIG), artifacts)
+        assert result.mean_fps == PINNED_FPS
+        assert result.mean_inter_frame_ms == PINNED_INTER_MS
+        assert result.be_mbps == PINNED_BE_MBPS
+        assert result.fi_kbps == PINNED_FI_KBPS
+        assert result.mean_cache_hit_ratio == PINNED_HIT_RATIO
+        assert [p.metrics.frames for p in result.players] == PINNED_FRAMES
+
+    def test_default_config_not_degraded(self):
+        config = SessionConfig(**PINNED_CONFIG)
+        assert not config.degraded_mode
+        assert SessionConfig(
+            impairment=ImpairmentConfig.bursty(0.1)
+        ).degraded_mode
+        assert SessionConfig(
+            faults=FaultSchedule.parse("stall@0-100")
+        ).degraded_mode
+
+    def test_zero_loss_impairment_matches_clean(self, racing):
+        """The identity impairment config takes the same numeric path."""
+        world, artifacts = racing
+        clean = run_coterie(world, 2, SessionConfig(**PINNED_CONFIG), artifacts)
+        impaired = run_coterie(
+            world, 2,
+            SessionConfig(**PINNED_CONFIG, impairment=ImpairmentConfig(seed=1)),
+            artifacts,
+        )
+        assert impaired.mean_fps == clean.mean_fps
+        assert impaired.be_mbps == clean.be_mbps
+
+
+class TestBusySpinRegression:
+    """A link slower than the frame budget must not hang the simulator."""
+
+    # ~500 KB frames at 20 Mbps: every transfer (~200 ms) dwarfs the
+    # 16.7 ms frame budget, so `interval - transfer_ms` is negative on
+    # every iteration — the exact condition that used to spin.
+    SLOW = SessionConfig(duration_s=1.0, seed=2, wifi_mbps=20.0)
+
+    def test_multi_furion_slow_link_terminates(self):
+        result = run_multi_furion(load_game("pool"), 1, self.SLOW)
+        assert result.players[0].metrics.frames >= 1
+
+    def test_thin_client_slow_link_terminates(self):
+        result = run_thin_client(load_game("pool"), 1, self.SLOW)
+        assert result.players[0].metrics.frames >= 1
+
+    def test_coterie_slow_link_terminates(self, racing):
+        world, artifacts = racing
+        config = SessionConfig(duration_s=1.0, seed=2, wifi_mbps=2.0)
+        result = run_coterie(world, 1, config, artifacts)
+        records = result.players[0].records
+        assert len(records) >= 1
+        assert all(b.t_ms > a.t_ms for a, b in zip(records, records[1:]))
+
+
+class TestDegradation:
+    def test_loss_causes_bounded_staleness(self, racing):
+        world, artifacts = racing
+        config = SessionConfig(
+            **PINNED_CONFIG, impairment=ImpairmentConfig.bursty(0.1, seed=1)
+        )
+        result = run_coterie(world, 2, config, artifacts)
+        metrics = result.players[0].metrics
+        assert metrics.deadline_miss_rate > 0.0
+        assert metrics.stale_frames > 0
+        assert 0.0 < metrics.max_stale_age_ms < 2000.0
+        stale = [r for r in result.players[0].records if r.stale_age_ms]
+        assert stale and all(r.deadline_missed for r in stale)
+        # Degraded, yes — but the display never stalls on the network.
+        assert result.mean_fps > 50.0
+
+    def test_server_stall_inflates_net_delay(self, racing):
+        world, artifacts = racing
+        faults = FaultSchedule.parse("stall@0-4000:30")
+        stalled = run_coterie(
+            world, 1, SessionConfig(**PINNED_CONFIG, faults=faults), artifacts
+        )
+        clean = run_coterie(world, 1, SessionConfig(**PINNED_CONFIG), artifacts)
+        stalled_net = stalled.players[0].metrics.net_delay_ms
+        assert stalled_net > clean.players[0].metrics.net_delay_ms + 20.0
+
+    def test_outage_pauses_and_rewarm_recovers(self, racing):
+        world, artifacts = racing
+        faults = FaultSchedule.parse("outage@1000-2000:0")
+        config = SessionConfig(**PINNED_CONFIG, faults=faults)
+        result = run_coterie(world, 2, config, artifacts)
+        offline = result.players[0]
+        online = result.players[1]
+        # No frames displayed inside the outage window (a frame *started*
+        # just before the window may still land shortly after it opens).
+        assert not [r for r in offline.records if 1100.0 < r.t_ms < 2000.0]
+        assert [r for r in online.records if 1100.0 < r.t_ms < 2000.0]
+        # Reconnect re-warms the cache with a blocking fetch.
+        assert offline.metrics.rewarm_fetches >= 1
+        assert online.metrics.rewarm_fetches == 0
+        assert offline.metrics.frames < online.metrics.frames
+
+    def test_link_collapse_recovery(self, racing):
+        """Clients ride out a 2 s link collapse and return to 60 FPS."""
+        world, artifacts = racing
+        faults = FaultSchedule.parse("dip@1000-3000:0.02")
+        config = SessionConfig(duration_s=6.0, seed=1, faults=faults)
+        result = run_coterie(world, 2, config, artifacts)
+        for player in result.players:
+            recovery = player.recovery_ms(3000.0)
+            assert recovery is not None
+            assert recovery < 2000.0
+
+
+class TestDeterminism:
+    FAULTS = "dip@500-1500:0.05,stall@2000-2500:20,outage@1000-1400:1"
+
+    def _fingerprint(self, result):
+        return (
+            result.mean_fps,
+            result.be_mbps,
+            tuple(p.metrics.frames for p in result.players),
+            tuple(p.metrics.deadline_miss_rate for p in result.players),
+            tuple(p.metrics.fetch_retries for p in result.players),
+            tuple(p.metrics.max_stale_age_ms for p in result.players),
+        )
+
+    def test_same_schedule_same_seed_identical(self, racing):
+        world, artifacts = racing
+        config = SessionConfig(
+            **PINNED_CONFIG,
+            impairment=ImpairmentConfig.bursty(0.05, seed=1),
+            faults=FaultSchedule.parse(self.FAULTS),
+        )
+        a = run_coterie(world, 2, config, artifacts)
+        b = run_coterie(world, 2, config, artifacts)
+        assert self._fingerprint(a) == self._fingerprint(b)
+
+    def test_identical_across_preprocess_workers(self):
+        """Offline parallelism must not leak into online fault replay."""
+        render_config = RenderConfig(width=64, height=32)
+        config = SessionConfig(
+            duration_s=2.0, seed=3, render_config=render_config,
+            impairment=ImpairmentConfig.bursty(0.05, seed=3),
+        )
+        world = load_game("pool")
+        fingerprints = []
+        for workers in (1, 2):
+            artifacts = preprocess_game(
+                world,
+                RenderCostModel(config.device),
+                render_config,
+                FrameCodec(crf=config.codec_crf),
+                seed=3,
+                size_samples=2,
+                options=PreprocessOptions(workers=workers),
+            )
+            result = run_coterie(world, 2, config, artifacts)
+            fingerprints.append(self._fingerprint(result))
+        assert fingerprints[0] == fingerprints[1]

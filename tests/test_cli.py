@@ -44,3 +44,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "leaf regions" in out
         assert "cutoff radii" in out
+
+    def test_run_with_loss_prints_resilience(self, capsys):
+        assert main(["run", "multi_furion", "pool", "1",
+                     "--duration", "2", "--loss", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience" in out
+
+    def test_run_with_faults(self, capsys):
+        assert main(["run", "multi_furion", "pool", "1", "--duration", "2",
+                     "--faults", "stall@0-500:10"]) == 0
+        assert "resilience" in capsys.readouterr().out
+
+    def test_run_clean_omits_resilience(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2"]) == 0
+        assert "resilience" not in capsys.readouterr().out
+
+    def test_bad_faults_spec_is_an_error(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--faults", "freeze@0-100"]) == 2
+        assert "invalid --faults" in capsys.readouterr().err
