@@ -1,9 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the everyday workflows:
+Four subcommands cover the everyday workflows:
 
 * ``run`` — simulate one (system, game, players) experiment and print the
-  QoE/network summary;
+  QoE/network summary; ``--trace``/``--events`` capture a sim-time trace
+  (Perfetto JSON / JSONL event log) and ``--perf`` prints the stage
+  profile table afterwards;
+* ``report`` — frame-budget attribution from a ``--events`` JSONL log:
+  per-stage p50/p95/p99 and the deadline-miss breakdown;
 * ``preprocess`` — run the §6 offline pipeline for a game and print the
   cutoff-scheme statistics (Table 3's columns);
 * ``games`` — list the nine study games with their published dimensions.
@@ -19,6 +23,12 @@ from . import perf
 from .faults import FaultSchedule
 from .net import ImpairmentConfig
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
+from .telemetry import (
+    FrameBudgetReport,
+    SpanTracer,
+    write_chrome_trace,
+    write_events_jsonl,
+)
 from .world import ALL_GAMES, game_spec, load_game
 
 
@@ -43,15 +53,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"invalid --faults spec: {exc}", file=sys.stderr)
             return 2
+    tracer = SpanTracer() if (args.trace or args.events) else None
     config = SessionConfig(duration_s=args.duration, seed=args.seed,
                            wifi_mbps=args.wifi_mbps,
-                           impairment=impairment, faults=faults)
-    result = run_system(args.system, args.game, args.players, config)
+                           impairment=impairment, faults=faults,
+                           tracer=tracer)
+    if args.perf:
+        with perf.timed("run.simulate"):
+            result = run_system(args.system, args.game, args.players, config)
+    else:
+        result = run_system(args.system, args.game, args.players, config)
+    metrics0 = result.players[0].metrics
     print(f"{args.system} on {args.game}, {args.players} player(s), "
           f"{args.duration:g}s simulated:")
     print(f"  FPS             : {result.mean_fps:.1f}")
-    print(f"  inter-frame     : {result.mean_inter_frame_ms:.1f} ms")
-    print(f"  responsiveness  : {result.mean_responsiveness_ms:.1f} ms")
+    print(f"  inter-frame     : {result.mean_inter_frame_ms:.1f} ms "
+          f"(p95 {metrics0.p95_inter_frame_ms:.1f}, "
+          f"p99 {metrics0.p99_inter_frame_ms:.1f})")
+    print(f"  responsiveness  : {result.mean_responsiveness_ms:.1f} ms "
+          f"(p95 {metrics0.p95_responsiveness_ms:.1f}, "
+          f"p99 {metrics0.p99_responsiveness_ms:.1f})")
     if result.mean_cache_hit_ratio is not None:
         print(f"  cache hit ratio : {100 * result.mean_cache_hit_ratio:.1f} %")
     print(f"  BE traffic      : {result.be_mbps:.1f} Mbps "
@@ -74,6 +95,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  stale frames    : {stale} (max age {max_age:.1f} ms)")
         print(f"  fetch retries   : {retries} "
               f"({abandoned} abandoned, {rewarms} re-warms)")
+    if tracer is not None:
+        if args.trace:
+            n = write_chrome_trace(args.trace, tracer.records)
+            print(f"  trace           : {n} events -> {args.trace} "
+                  f"(load in Perfetto / chrome://tracing)")
+        if args.events:
+            n = write_events_jsonl(args.events, tracer.records)
+            print(f"  event log       : {n} records -> {args.events} "
+                  f"(analyze with `repro report {args.events}`)")
+    if args.perf:
+        print()
+        print(perf.report())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        report = FrameBudgetReport.from_jsonl(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read event log: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
     return 0
 
 
@@ -134,7 +177,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--faults", default=None,
                      help="fault schedule, e.g. "
                           "'dip@3000-8000:0.02,stall@1000-1500:25,outage@2000-4000:1'")
+    run.add_argument("--trace", default=None, metavar="OUT.json",
+                     help="write a Perfetto/chrome://tracing trace of the run")
+    run.add_argument("--events", default=None, metavar="OUT.jsonl",
+                     help="write the JSONL span log (input to `repro report`)")
+    run.add_argument("--perf", action="store_true",
+                     help="print the per-stage perf report afterwards")
     run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser(
+        "report", help="frame-budget attribution from an event log"
+    )
+    rep.add_argument("events", metavar="EVENTS.jsonl",
+                     help="JSONL event log from `repro run --events`")
+    rep.set_defaults(func=_cmd_report)
 
     pre = sub.add_parser("preprocess", help="run the offline pipeline")
     pre.add_argument("game", choices=ALL_GAMES)

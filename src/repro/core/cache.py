@@ -91,6 +91,11 @@ class FrameCache:
         self.stats = CacheStats()
         self._frames: Dict[GridPoint, CachedFrame] = {}
         self._bytes = 0
+        # Telemetry hooks (assigned by the owning system when tracing):
+        # every lookup / stale-fallback emits an instant on the owner's
+        # cache lane.  None (the default) costs one branch per lookup.
+        self.tracer = None
+        self.owner = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -133,9 +138,11 @@ class FrameCache:
             exact.last_used_ms = now_ms
             self.stats.hits += 1
             self.stats.exact_hits += 1
+            self._trace_lookup("exact_hit", now_ms)
             return exact
         if self.exact_only:
             self.stats.misses += 1
+            self._trace_lookup("miss", now_ms)
             return None
 
         best: Optional[CachedFrame] = None
@@ -153,12 +160,24 @@ class FrameCache:
                 best_distance = distance
         if best is None:
             self.stats.misses += 1
+            self._trace_lookup("miss", now_ms)
             return None
         best.last_used_ms = now_ms
         self.stats.hits += 1
+        self._trace_lookup("similar_hit", now_ms)
         return best
 
-    def nearest(self, position: Vec2) -> Optional[CachedFrame]:
+    def _trace_lookup(self, outcome: str, now_ms: float) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cache.lookup", self.owner, "cache", now_ms, cat="cache",
+                args={"outcome": outcome, "entries": len(self._frames),
+                      "bytes": self._bytes},
+            )
+
+    def nearest(
+        self, position: Vec2, now_ms: float = 0.0
+    ) -> Optional[CachedFrame]:
         """Closest resident frame regardless of the hit criteria.
 
         The stale-frame fallback: when a prefetch misses its deadline the
@@ -166,13 +185,27 @@ class FrameCache:
         than stall the display — frame similarity (§4.6) keeps a nearby
         stale frame perceptually close.  Not counted as a hit or miss and
         does not refresh LRU state; the caller records it as degradation.
+        ``now_ms`` only stamps the telemetry instant.
         """
         if not self._frames:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "cache.nearest", self.owner, "cache", now_ms, cat="cache",
+                    args={"outcome": "empty", "entries": 0},
+                )
             return None
-        return min(
+        best = min(
             self._frames.values(),
             key=lambda f: f.position.distance_to(position),
         )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cache.nearest", self.owner, "cache", now_ms, cat="cache",
+                args={"outcome": "stale",
+                      "age_ms": round(now_ms - best.inserted_ms, 4),
+                      "entries": len(self._frames)},
+            )
+        return best
 
     # ------------------------------------------------------------------
     # Insertion and replacement

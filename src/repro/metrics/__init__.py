@@ -15,7 +15,15 @@ from .qoe import (
     run_user_study,
     trace_jumps,
 )
-from .stats import cdf_points, histogram, mean, percentile, running_average
+from .stats import (
+    cdf_points,
+    histogram,
+    mean,
+    percentile,
+    percentiles,
+    running_average,
+    tail_summary,
+)
 from .thermal import PIXEL2_THERMAL_LIMIT_C, ThermalModel
 from .timeline import ResourceTimeline, TimelinePoint, build_timeline
 from .utilization import CpuModel
@@ -40,8 +48,10 @@ __all__ = [
     "mean",
     "mos_for_jump",
     "percentile",
+    "percentiles",
     "run_user_study",
     "build_timeline",
     "running_average",
+    "tail_summary",
     "trace_jumps",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .stats import mean
+from .stats import mean, tail_summary
 
 TARGET_FRAME_MS = 1000.0 / 60.0
 
@@ -63,6 +63,13 @@ class SessionMetrics:
     cache_hit_ratio: Optional[float]
     mean_ssim: Optional[float]
     frames: int
+    # Tail latencies (p50 tracks the mean on a healthy run; p95/p99 are
+    # where deadline misses and fault episodes actually show up).
+    p50_inter_frame_ms: float = 0.0
+    p95_inter_frame_ms: float = 0.0
+    p99_inter_frame_ms: float = 0.0
+    p95_responsiveness_ms: float = 0.0
+    p99_responsiveness_ms: float = 0.0
     # Degraded-mode outcomes; all zero on a clean run.
     deadline_miss_rate: float = 0.0
     stale_frames: int = 0
@@ -182,9 +189,19 @@ class MetricsCollector:
                 return max(0.0, chunk[-1].t_ms - after_ms)
         return None
 
+    def inter_frame_tail_ms(self) -> "tuple[float, float, float]":
+        """(p50, p95, p99) of the display interval."""
+        return tail_summary([r.interval_ms for r in self.records])
+
+    def responsiveness_tail_ms(self) -> "tuple[float, float, float]":
+        """(p50, p95, p99) of motion-to-photon latency."""
+        return tail_summary([r.responsiveness_ms for r in self.records])
+
     def summary(self, cpu_utilization: float) -> SessionMetrics:
         """Aggregate into one SessionMetrics row."""
         ages = self.stale_ages()
+        p50_if, p95_if, p99_if = self.inter_frame_tail_ms()
+        _, p95_resp, p99_resp = self.responsiveness_tail_ms()
         return SessionMetrics(
             fps=self.fps(),
             inter_frame_ms=self.inter_frame_ms(),
@@ -196,6 +213,11 @@ class MetricsCollector:
             cache_hit_ratio=self.cache_hit_ratio(),
             mean_ssim=self.mean_ssim(),
             frames=len(self.records),
+            p50_inter_frame_ms=p50_if,
+            p95_inter_frame_ms=p95_if,
+            p99_inter_frame_ms=p99_if,
+            p95_responsiveness_ms=p95_resp,
+            p99_responsiveness_ms=p99_resp,
             deadline_miss_rate=self.deadline_miss_rate(),
             stale_frames=len(ages),
             mean_stale_age_ms=mean(ages) if ages else 0.0,

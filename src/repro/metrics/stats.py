@@ -23,6 +23,28 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(values, q))
 
 
+def percentiles(
+    values: Sequence[float], qs: Sequence[float]
+) -> List[float]:
+    """Several percentiles in one pass (one sort instead of ``len(qs)``)."""
+    if not values:
+        raise ValueError("percentiles of empty sequence")
+    if any(not 0.0 <= q <= 100.0 for q in qs):
+        raise ValueError("every q must be in [0, 100]")
+    return [float(v) for v in np.percentile(values, list(qs))]
+
+
+def tail_summary(values: Sequence[float]) -> Tuple[float, float, float]:
+    """(p50, p95, p99) — the tail triple the QoE tables report.
+
+    Tail latency, not the mean, is what a deadline-driven display feels:
+    one p99 frame interval of 50 ms is a visible hitch that a 16.7 ms
+    mean happily hides.
+    """
+    p50, p95, p99 = percentiles(values, (50.0, 95.0, 99.0))
+    return p50, p95, p99
+
+
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
     """Empirical CDF as (value, fraction<=value) pairs, for plotting."""
     if not values:

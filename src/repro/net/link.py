@@ -37,12 +37,19 @@ class WifiLink:
         overhead_ms: float = 1.5,
         stations: int = 1,
         impairment: Optional[LinkImpairment] = None,
+        tracer=None,
     ) -> None:
         if capacity_mbps <= 0:
             raise ValueError("capacity_mbps must be positive")
         if stations < 1:
             raise ValueError("stations must be >= 1")
         self.sim = sim
+        # Telemetry hook (repro.telemetry.SpanTracer or None): submission
+        # instants carry the impairment draw, the impaired relay stamps a
+        # completed link.transfer span, aborts are marked.  Purely
+        # observational — no events are scheduled for tracing.
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self._trace_lane_ends: list = []  # per-lane last span end (tracing)
         self.capacity_mbps = capacity_mbps
         self.stations = stations
         self.mac_efficiency = 1.0 / (1.0 + self.MAC_CONTENTION_LOSS * (stations - 1))
@@ -81,22 +88,63 @@ class WifiLink:
         self._note_activity()
         self._tag_bytes[tag] += size_bytes
         megabits = size_bytes * 8.0 / MBIT
+        tracer = self.tracer
         if self.impairment is None:
+            if tracer is not None:
+                tracer.instant(
+                    "link.submit", -1, "link", self.sim.now, cat="net",
+                    args={"bytes": size_bytes, "tag": tag,
+                          "active": self._medium.active_flows},
+                )
             return self._medium.submit(megabits)
         drawn = self.impairment.sample(self.sim.now, size_bytes)
         inner = self._medium.submit(megabits * drawn.work_scale)
         outer = self.sim.event()
         self._relayed[outer] = inner
+        submitted_ms = self.sim.now
+        if tracer is not None:
+            tracer.instant(
+                "link.submit", -1, "link", submitted_ms, cat="net",
+                args={"bytes": size_bytes, "tag": tag,
+                      "active": self._medium.active_flows,
+                      "work_scale": round(drawn.work_scale, 4),
+                      "lost_segments": drawn.lost_segments,
+                      "bursts": drawn.bursts},
+            )
 
         def relay():
             service_ms = yield inner
             if drawn.extra_latency_ms > 0:
                 yield drawn.extra_latency_ms
             self._relayed.pop(outer, None)
-            outer.succeed(service_ms + drawn.extra_latency_ms)
+            total_ms = service_ms + drawn.extra_latency_ms
+            if tracer is not None:
+                tracer.complete(
+                    "link.transfer", -1, self._trace_lane(submitted_ms, total_ms),
+                    submitted_ms, total_ms, cat="net",
+                    args={"bytes": size_bytes, "tag": tag,
+                          "lost_segments": drawn.lost_segments,
+                          "bursts": drawn.bursts,
+                          "extra_latency_ms": round(drawn.extra_latency_ms, 4)},
+                )
+            outer.succeed(total_ms)
 
         self.sim.spawn(relay())
         return outer
+
+    def _trace_lane(self, start_ms: float, dur_ms: float) -> str:
+        """A link sub-lane free over [start, start+dur] (tracing only).
+
+        Concurrent transfers would overlap on one timeline track, which
+        trace viewers render badly; greedy interval coloring spreads them
+        over ``link 0``, ``link 1``, ... so each lane's spans are disjoint.
+        """
+        for i, end_ms in enumerate(self._trace_lane_ends):
+            if end_ms <= start_ms:
+                self._trace_lane_ends[i] = start_ms + dur_ms
+                return f"link {i}"
+        self._trace_lane_ends.append(start_ms + dur_ms)
+        return f"link {len(self._trace_lane_ends) - 1}"
 
     def abort(self, event: Event) -> bool:
         """Abandon a pending transfer (retry/backoff path).
@@ -106,7 +154,12 @@ class WifiLink:
         Returns False if the transfer had already completed.
         """
         inner = self._relayed.pop(event, event)
-        return self._medium.cancel(inner)
+        cancelled = self._medium.cancel(inner)
+        if cancelled and self.tracer is not None:
+            self.tracer.instant(
+                "link.abort", -1, "link", self.sim.now, cat="net"
+            )
+        return cancelled
 
     def record_datagram(self, size_bytes: float, tag: str = "fi") -> None:
         """Account small UDP traffic without simulating its service time.

@@ -118,9 +118,15 @@ class PerfRegistry:
             }
 
     def merge(self, snapshot: Mapping[str, dict]) -> None:
-        """Fold another registry's :meth:`snapshot` into this one."""
-        for name, payload in snapshot.get("stages", {}).items():
-            with self._lock:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The whole merge happens under one lock acquisition so a
+        concurrent :meth:`snapshot` (e.g. the parent registry shipping
+        its own state while a worker chunk lands) can never observe a
+        half-merged registry — some stages updated, others not.
+        """
+        with self._lock:
+            for name, payload in snapshot.get("stages", {}).items():
                 stats = self._stages.get(name)
                 if stats is None:
                     stats = self._stages[name] = StageStats()
@@ -128,8 +134,8 @@ class PerfRegistry:
                 stats.total_s += payload["total_s"]
                 stats.min_s = min(stats.min_s, payload["min_s"])
                 stats.max_s = max(stats.max_s, payload["max_s"])
-        for name, value in snapshot.get("counters", {}).items():
-            self.count(name, value)
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
 
     def reset(self) -> None:
         """Clear all stages and counters (tests and worker chunks)."""
@@ -153,11 +159,20 @@ class PerfRegistry:
             rows.sort(key=lambda r: -r[1])
         else:
             rows.sort(key=lambda r: r[0])
-        lines = [f"{'stage':24} {'calls':>8} {'total s':>10} {'mean ms':>10}"]
+        # Name column sized to the longest name so long stage names do
+        # not shear the numeric columns out of alignment.
+        width = max(
+            24,
+            *(len(r[0]) for r in rows),
+            *(len(name) for name, _ in counters),
+        ) if rows or counters else 24
+        lines = [f"{'stage':{width}} {'calls':>8} {'total s':>10} {'mean ms':>10}"]
         for name, calls, total_s, mean_ms in rows:
-            lines.append(f"{name:24} {calls:>8} {total_s:>10.3f} {mean_ms:>10.3f}")
+            lines.append(
+                f"{name:{width}} {calls:>8} {total_s:>10.3f} {mean_ms:>10.3f}"
+            )
         if counters:
-            lines.append(f"{'counter':24} {'value':>8}")
+            lines.append(f"{'counter':{width}} {'value':>8}")
             for name, value in counters:
-                lines.append(f"{name:24} {value:>8}")
+                lines.append(f"{name:{width}} {value:>8}")
         return "\n".join(lines)

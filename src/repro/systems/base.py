@@ -32,6 +32,7 @@ from ..metrics import (
 from ..net import ImpairmentConfig, LinkImpairment, PunChannel, WifiLink
 from ..render import PIXEL2, DeviceProfile, RenderConfig, RenderCostModel
 from ..sim import Simulator
+from ..telemetry import as_tracer
 from ..trace import Trajectory, generate_party
 from ..world.games import GameWorld
 
@@ -64,6 +65,11 @@ class SessionConfig:
     fetch_timeout_ms: float = 250.0  # first background-retry timeout
     fetch_max_retries: int = 5  # background re-issues before giving up
     fetch_backoff_cap_ms: float = 2000.0  # retry timeout ceiling
+    # --- observability (None: tracing off, zero overhead) ---
+    # A repro.telemetry.SpanTracer recording sim-time spans for the whole
+    # online path.  Purely observational: a traced run produces the same
+    # metrics as an untraced one (asserted by bench_trace_overhead).
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -164,7 +170,8 @@ class Session:
         self.world = world
         self.n_players = n_players
         self.config = config
-        self.sim = Simulator()
+        self.tracer = as_tracer(config.tracer)
+        self.sim = Simulator(tracer=self.tracer)
         self.faults = FaultInjector(config.faults) if config.faults else None
         self.link = WifiLink(
             self.sim,
@@ -172,6 +179,7 @@ class Session:
             overhead_ms=config.wifi_overhead_ms,
             stations=n_players,
             impairment=self._build_impairment(),
+            tracer=self.tracer,
         )
         self.pun = PunChannel(
             self.sim, self.link, n_players, seed=config.seed + 77
@@ -218,6 +226,137 @@ class Session:
         if self.faults is None:
             return None
         return self.faults.outage_resume_ms(player_id, now_ms)
+
+    def fault_label(self, now_ms: float) -> str:
+        """Scheduled fault episodes active at ``now_ms`` (span attribution).
+
+        ``"dip"``, ``"stall"``, ``"outage"`` joined with ``+`` when windows
+        overlap; ``""`` when nothing scripted is active.  Ambient
+        impairment (always-on loss/jitter) is not an episode and is not
+        labelled.
+        """
+        schedule = self.config.faults
+        if schedule is None:
+            return ""
+        parts = []
+        if any(w.start_ms <= now_ms < w.end_ms for w in schedule.link):
+            parts.append("dip")
+        if any(s.start_ms <= now_ms < s.end_ms for s in schedule.stalls):
+            parts.append("stall")
+        if any(o.start_ms <= now_ms < o.end_ms for o in schedule.outages):
+            parts.append("outage")
+        return "+".join(parts)
+
+    # ------------------------------------------------------------------
+    # Telemetry emitters (shared by every system loop; call only when
+    # ``self.tracer.enabled`` — the callers guard, so the disabled path
+    # never reaches these)
+    # ------------------------------------------------------------------
+
+    def trace_pipeline_frame(
+        self,
+        player_id: int,
+        frame: int,
+        t0: float,
+        timings,
+        interval_ms: float,
+        *,
+        frame_bytes: int = 0,
+        cache: Optional[str] = None,
+        deadline_missed: bool = False,
+        stale_age_ms: Optional[float] = None,
+    ) -> None:
+        """Emit one Eq. 2 pipeline frame: concurrent stages + merge + wait.
+
+        The four concurrent tasks (render, decode, prefetch, sync) all
+        start at the interval origin; merge follows their max; any
+        remainder up to the display interval is the vsync wait.
+        """
+        tracer = self.tracer
+        args = {
+            "frame": frame,
+            "interval_ms": round(interval_ms, 6),
+            "fault": self.fault_label(t0),
+        }
+        if frame_bytes:
+            args["bytes"] = frame_bytes
+        if cache is not None:
+            args["cache"] = cache
+        if deadline_missed:
+            args["deadline_missed"] = True
+        if stale_age_ms is not None:
+            args["stale_age_ms"] = round(stale_age_ms, 4)
+        tracer.complete(
+            "frame", player_id, "frame", t0, interval_ms, cat="frame",
+            args=args,
+        )
+        stage_args = {"frame": frame}
+        for lane, dur in (
+            ("render", timings.render_ms),
+            ("decode", timings.decode_ms),
+            ("prefetch", timings.prefetch_ms),
+            ("sync", timings.sync_ms),
+        ):
+            if dur > 0.0:
+                tracer.complete(lane, player_id, lane, t0, dur, args=stage_args)
+        split = timings.split_render_ms()
+        if timings.merge_ms > 0.0:
+            tracer.complete(
+                "merge", player_id, "merge", t0 + split - timings.merge_ms,
+                timings.merge_ms, args=stage_args,
+            )
+        wait = interval_ms - split
+        if wait > 1e-9:
+            tracer.complete(
+                "wait", player_id, "wait", t0 + split, wait, args=stage_args
+            )
+
+    def trace_sequential_frame(
+        self,
+        player_id: int,
+        frame: int,
+        t0: float,
+        stages,
+        interval_ms: float,
+        *,
+        frame_bytes: int = 0,
+    ) -> None:
+        """Emit one sequential frame (thin client): stages laid end to end,
+        any remainder up to the display interval as the vsync wait.
+
+        ``stages`` is an ordered iterable of ``(lane, duration_ms)``.
+        """
+        tracer = self.tracer
+        args = {
+            "frame": frame,
+            "interval_ms": round(interval_ms, 6),
+            "fault": self.fault_label(t0),
+        }
+        if frame_bytes:
+            args["bytes"] = frame_bytes
+        tracer.complete(
+            "frame", player_id, "frame", t0, interval_ms, cat="frame",
+            args=args,
+        )
+        stage_args = {"frame": frame}
+        cursor = t0
+        for lane, dur in stages:
+            if dur > 0.0:
+                tracer.complete(lane, player_id, lane, cursor, dur,
+                                args=stage_args)
+                cursor += dur
+        wait = t0 + interval_ms - cursor
+        if wait > 1e-9:
+            tracer.complete(
+                "wait", player_id, "wait", cursor, wait, args=stage_args
+            )
+
+    def trace_outage(self, player_id: int, start_ms: float, end_ms: float) -> None:
+        """Mark a scripted disconnect on the player's frame lane."""
+        self.tracer.complete(
+            "outage", player_id, "frame", start_ms, end_ms - start_ms,
+            cat="fault", args={"fault": "outage"},
+        )
 
     def prefetch_deadline_ms(self) -> float:
         """Per-frame prefetch deadline derived from the frame budget.

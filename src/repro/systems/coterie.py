@@ -113,6 +113,11 @@ def run_coterie(
     last_far = [None] * n_players
     frame_counters = [0] * n_players
     degraded = config.degraded_mode
+    tracer = session.tracer
+    if tracer.enabled:
+        for player_id, cache in enumerate(caches):
+            cache.tracer = tracer
+            cache.owner = player_id
     # Per-player degradation state: an in-flight background fetch (at most
     # one — a second would just contend with the first), and a pending
     # cache re-warm after a reconnect.
@@ -143,10 +148,16 @@ def run_coterie(
         resilience = session.collectors[player_id].resilience
         ev = first_ev
         timeout_ms = config.fetch_timeout_ms
+        started_ms = sim.now
         for attempt in range(config.fetch_max_retries + 1):
             if attempt > 0:
                 resilience.fetch_retries += 1
                 perf.count("resilience.fetch_retries")
+                if tracer.enabled:
+                    tracer.instant(
+                        "fetch.retry", player_id, "net", sim.now,
+                        args={"attempt": attempt, "bytes": frame_bytes},
+                    )
                 ev = session.link.transfer(frame_bytes, tag="be")
             yield any_of(sim, [ev, sim.timeout(timeout_ms)])
             if not ev.triggered and session.link.abort(ev):
@@ -158,10 +169,23 @@ def run_coterie(
                 yield ev
             admit_all(decision, stored, frame_bytes, sim.now, player_id)
             pending_fetch[player_id] = False
+            if tracer.enabled:
+                tracer.complete(
+                    "fetch.background", player_id, "net", started_ms,
+                    sim.now - started_ms, cat="net",
+                    args={"attempts": attempt + 1, "bytes": frame_bytes},
+                )
             return
         resilience.fetches_abandoned += 1
         perf.count("resilience.fetches_abandoned")
         pending_fetch[player_id] = False
+        if tracer.enabled:
+            tracer.complete(
+                "fetch.abandoned", player_id, "net", started_ms,
+                sim.now - started_ms, cat="net",
+                args={"attempts": config.fetch_max_retries + 1,
+                      "bytes": frame_bytes},
+            )
 
     def client(player_id: int):
         prefetcher = prefetchers[player_id]
@@ -172,7 +196,10 @@ def run_coterie(
                 if resume is not None and resume > sim.now:
                     # Disconnected: produce no frames until the outage
                     # ends, then re-warm the cache before resuming.
+                    outage_start = sim.now
                     yield resume - sim.now
+                    if tracer.enabled:
+                        session.trace_outage(player_id, outage_start, sim.now)
                     needs_rewarm[player_id] = True
                     continue
             t0 = sim.now
@@ -194,7 +221,8 @@ def run_coterie(
                     # Still recovering a late fetch: display the nearest
                     # stale frame, issue nothing new.
                     deadline_missed = True
-                    cached = caches[player_id].nearest(decision.position)
+                    cached = caches[player_id].nearest(decision.position,
+                                                       now_ms=t0)
                     if cached is not None:
                         stale_age_ms = t0 - cached.inserted_ms
                         perf.count("resilience.stale_frames")
@@ -211,6 +239,11 @@ def run_coterie(
                         needs_rewarm[player_id] = False
                         collector.resilience.rewarm_fetches += 1
                         perf.count("resilience.rewarm_fetches")
+                        if tracer.enabled:
+                            tracer.instant(
+                                "fetch.rewarm", player_id, "net", sim.now,
+                                args={"bytes": frame_bytes},
+                            )
                         transfer_ms = stall_ms + (yield transfer_ev)
                         cached = admit_all(
                             decision, stored, frame_bytes, sim.now, player_id
@@ -228,7 +261,9 @@ def run_coterie(
                         else:
                             deadline_missed = True
                             perf.count("resilience.deadline_misses")
-                            fallback = caches[player_id].nearest(decision.position)
+                            fallback = caches[player_id].nearest(
+                                decision.position, now_ms=sim.now
+                            )
                             if fallback is None:
                                 # Nothing cached to show (cold start):
                                 # the display has to wait for the fetch.
@@ -301,6 +336,20 @@ def run_coterie(
                     stale_age_ms=stale_age_ms,
                 )
             )
+            if tracer.enabled:
+                if not use_cache:
+                    outcome = "bypass"
+                elif not decision.needs_fetch:
+                    outcome = "hit"
+                elif stale_age_ms is not None:
+                    outcome = "stale"
+                else:
+                    outcome = "fetch"
+                session.trace_pipeline_frame(
+                    player_id, frame_counters[player_id] - 1, t0, timings,
+                    interval, frame_bytes=frame_bytes, cache=outcome,
+                    deadline_missed=deadline_missed, stale_age_ms=stale_age_ms,
+                )
             remaining = interval - transfer_ms
             # Clamp to a minimum 1-tick yield: a transfer slower than the
             # interval must not let the loop re-enter plan() at the same

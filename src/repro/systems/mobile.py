@@ -17,7 +17,10 @@ def run_mobile(world: GameWorld, n_players: int, config: SessionConfig) -> RunRe
     session = Session(world, n_players, config)
     sim = session.sim
 
+    tracer = session.tracer
+
     def client(player_id: int):
+        frame_index = 0
         while sim.now < session.horizon_ms:
             t0 = sim.now
             sample = session.position_at(player_id, t0)
@@ -37,6 +40,12 @@ def run_mobile(world: GameWorld, n_players: int, config: SessionConfig) -> RunRe
                     responsiveness_ms=render_ms + SENSOR_SCANOUT_MS,
                 )
             )
+            if tracer.enabled:
+                session.trace_sequential_frame(
+                    player_id, frame_index, t0, (("render", render_ms),),
+                    interval,
+                )
+            frame_index += 1
             yield interval
 
     for player_id in range(n_players):

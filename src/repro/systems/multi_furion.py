@@ -61,12 +61,23 @@ def run_multi_furion(
         for _ in range(n_players)
     ]
 
+    tracer = session.tracer
+    if tracer.enabled:
+        for player_id, cache in enumerate(caches):
+            if cache is not None:
+                cache.tracer = tracer
+                cache.owner = player_id
+
     def client(player_id: int):
         cache = caches[player_id]
+        frame_index = 0
         while sim.now < session.horizon_ms:
             resume = session.outage_resume_ms(player_id, sim.now)
             if resume is not None and resume > sim.now:
+                outage_start = sim.now
                 yield resume - sim.now  # disconnected: no frames produced
+                if tracer.enabled:
+                    session.trace_outage(player_id, outage_start, sim.now)
                 continue
             t0 = sim.now
             sample = session.position_at(player_id, t0)
@@ -123,6 +134,15 @@ def run_multi_furion(
                     cache_hit=(hit is not None) if cache is not None else None,
                 )
             )
+            if tracer.enabled:
+                outcome = None
+                if cache is not None:
+                    outcome = "hit" if hit is not None else "fetch"
+                session.trace_pipeline_frame(
+                    player_id, frame_index, t0, timings, interval,
+                    frame_bytes=frame_bytes, cache=outcome,
+                )
+            frame_index += 1
             remaining = interval - transfer_ms
             # Minimum 1-tick yield: never re-enter the loop at the same
             # simulated instant when the transfer ate the whole interval.

@@ -47,11 +47,17 @@ def run_thin_client(
             eye_height=world.spec.player.eye_height,
         )
 
+    tracer = session.tracer
+
     def client(player_id: int):
+        frame_index = 0
         while sim.now < session.horizon_ms:
             resume = session.outage_resume_ms(player_id, sim.now)
             if resume is not None and resume > sim.now:
+                outage_start = sim.now
                 yield resume - sim.now  # disconnected: no frames streamed
+                if tracer.enabled:
+                    session.trace_outage(player_id, outage_start, sim.now)
                 continue
             t0 = sim.now
             sample = session.position_at(player_id, t0)
@@ -90,6 +96,18 @@ def run_thin_client(
                     frame_bytes=frame_bytes,
                 )
             )
+            if tracer.enabled:
+                session.trace_sequential_frame(
+                    player_id, frame_index, t0,
+                    (
+                        ("upload", POSE_UPLOAD_MS + SERVER_SCHEDULING_MS),
+                        ("server", stall_ms + server_render_ms + encode_ms),
+                        ("transfer", transfer_ms),
+                        ("decode", decode_ms),
+                    ),
+                    interval, frame_bytes=frame_bytes,
+                )
+            frame_index += 1
             remaining = interval - transfer_ms
             # Minimum 1-tick yield (busy-spin hazard; see run_coterie).
             yield remaining if remaining > 0 else MIN_YIELD_MS

@@ -1,0 +1,63 @@
+"""Sim-time tracing and telemetry for the online simulation.
+
+(Named ``telemetry`` to avoid colliding with :mod:`repro.trace`, the
+head-pose trace package.)
+
+Three layers:
+
+* :mod:`~repro.telemetry.tracer` — span/instant/counter recording in
+  simulated milliseconds (:class:`SpanTracer`), with an allocation-free
+  :class:`NullTracer` for the disabled path;
+* :mod:`~repro.telemetry.export` — Chrome trace-event JSON (Perfetto /
+  chrome://tracing) and a schema-versioned JSONL event log;
+* :mod:`~repro.telemetry.report` — per-frame critical-path attribution
+  and the deadline-miss breakdown behind ``repro report``.
+"""
+
+from .export import (
+    read_events_jsonl,
+    record_from_dict,
+    record_to_dict,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .report import (
+    FRAME_BUDGET_MS,
+    FrameAttribution,
+    FrameBudgetReport,
+    StageRow,
+    attribute_frame,
+)
+from .tracer import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    SESSION_TRACK,
+    NullTracer,
+    Span,
+    SpanTracer,
+    as_tracer,
+)
+
+__all__ = [
+    "FRAME_BUDGET_MS",
+    "FrameAttribution",
+    "FrameBudgetReport",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "SESSION_TRACK",
+    "Span",
+    "SpanTracer",
+    "StageRow",
+    "as_tracer",
+    "attribute_frame",
+    "read_events_jsonl",
+    "record_from_dict",
+    "record_to_dict",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

@@ -312,3 +312,103 @@ class TestResourceTimeline:
             build_timeline(cpu=2.0, gpu=0.5, net_mbps=0)
         with pytest.raises(ValueError):
             build_timeline(cpu=0.5, gpu=0.5, net_mbps=0, duration_s=0)
+
+
+class TestRecoveryEdgeCases:
+    """recovery_ms boundary behavior around window placement."""
+
+    def test_recovery_on_exact_window_tail(self):
+        # Exactly `window` healthy frames at the very end of the record
+        # stream: the last (and only fitting) window must still count.
+        c = MetricsCollector()
+        for i in range(5):  # slow frames after the fault
+            c.add(record(1000.0 + i * 40.0, interval=40.0))
+        base = 1000.0 + 5 * 40.0
+        for i in range(10):  # exactly window=10 healthy frames
+            c.add(record(base + i * 16.0, interval=16.0))
+        got = c.recovery_ms(after_ms=1000.0, window=10)
+        assert got is not None
+        last_t = base + 9 * 16.0
+        assert got == pytest.approx(last_t - 1000.0)
+
+    def test_after_ms_beyond_last_record(self):
+        c = MetricsCollector()
+        for i in range(40):
+            c.add(record(i * 16.0, interval=16.0))
+        assert c.recovery_ms(after_ms=10_000.0, window=10) is None
+
+    def test_tail_shorter_than_window(self):
+        c = MetricsCollector()
+        for i in range(40):
+            c.add(record(i * 16.0, interval=16.0))
+        # only 5 records at/after after_ms — can't fill a 10-frame window
+        assert c.recovery_ms(after_ms=35 * 16.0, window=10) is None
+
+    def test_single_deadline_miss_poisons_window(self):
+        c = MetricsCollector()
+        for i in range(10):
+            c.add(record(
+                i * 16.0, interval=16.0, deadline_missed=(i == 4)
+            ))
+        # Fast intervals throughout, but every 10-frame window contains
+        # the one missed frame, so no recovery within these records.
+        assert c.recovery_ms(after_ms=0.0, window=10) is None
+        # Once windows clear of the miss exist, recovery is found and is
+        # the first window NOT containing the missed frame.
+        for i in range(10, 20):
+            c.add(record(i * 16.0, interval=16.0))
+        got = c.recovery_ms(after_ms=0.0, window=10)
+        assert got == pytest.approx(14 * 16.0)
+
+    def test_recovery_at_after_ms_clamps_to_zero(self):
+        c = MetricsCollector()
+        for i in range(10):
+            c.add(record(i * 16.0, interval=16.0))
+        got = c.recovery_ms(after_ms=9 * 16.0 + 100.0, window=1)
+        assert got is None  # nothing at/after after_ms
+
+    def test_validation(self):
+        c = MetricsCollector()
+        c.add(record(0.0))
+        with pytest.raises(ValueError):
+            c.recovery_ms(0.0, target_fps=0.0)
+        with pytest.raises(ValueError):
+            c.recovery_ms(0.0, window=0)
+
+
+class TestTailLatencies:
+    def test_tail_summary_triple(self):
+        from repro.metrics import tail_summary
+
+        values = [float(v) for v in range(1, 101)]
+        p50, p95, p99 = tail_summary(values)
+        assert p50 == pytest.approx(percentile(values, 50))
+        assert p95 == pytest.approx(percentile(values, 95))
+        assert p99 == pytest.approx(percentile(values, 99))
+        assert p50 <= p95 <= p99
+
+    def test_percentiles_batch_matches_single(self):
+        from repro.metrics import percentiles
+
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        batch = percentiles(values, (10.0, 50.0, 90.0))
+        assert batch == pytest.approx(
+            [percentile(values, q) for q in (10.0, 50.0, 90.0)]
+        )
+        with pytest.raises(ValueError):
+            percentiles([], (50.0,))
+        with pytest.raises(ValueError):
+            percentiles(values, (50.0, 101.0))
+
+    def test_summary_fills_tail_fields(self):
+        c = MetricsCollector()
+        # 99 fast frames and one hitch: mean barely moves, p99 screams.
+        for i in range(99):
+            c.add(record(i * 16.0, interval=16.0, resp=20.0))
+        c.add(record(99 * 16.0 + 84.0, interval=100.0, resp=120.0))
+        m = c.summary(cpu_utilization=0.5)
+        assert m.p50_inter_frame_ms == pytest.approx(16.0)
+        assert m.p95_inter_frame_ms < m.p99_inter_frame_ms
+        assert m.p99_inter_frame_ms > 16.0
+        assert m.p99_responsiveness_ms > m.p95_responsiveness_ms >= 20.0
+        assert m.p99_responsiveness_ms <= 120.0

@@ -137,3 +137,90 @@ class TestModuleSingleton:
         FrameCodec().encode(frame)
         assert perf.stage("ssim").calls > ssim_before
         assert perf.stage("encode").calls > encode_before
+
+
+class TestMergeAtomicity:
+    def test_merge_holds_lock_once(self):
+        """A concurrent snapshot must never observe a half-merged registry.
+
+        Each merged snapshot updates two stages together; with per-stage
+        locking a reader could see stage "a" updated but not "b".  The
+        reader asserts the two totals are always equal.
+        """
+        import threading
+
+        reg = PerfRegistry()
+        unit = {
+            "stages": {
+                "a": {"calls": 1, "total_s": 1.0, "min_s": 1.0, "max_s": 1.0},
+                "b": {"calls": 1, "total_s": 1.0, "min_s": 1.0, "max_s": 1.0},
+            },
+            "counters": {"x": 1, "y": 1},
+        }
+        torn = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                snap = reg.snapshot()
+                stages = snap["stages"]
+                if ("a" in stages) != ("b" in stages):
+                    torn.append(snap)
+                elif "a" in stages and (
+                    stages["a"]["total_s"] != stages["b"]["total_s"]
+                ):
+                    torn.append(snap)
+                counters = snap["counters"]
+                if counters.get("x", 0) != counters.get("y", 0):
+                    torn.append(snap)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(2000):
+                reg.merge(unit)
+        finally:
+            stop.set()
+            thread.join()
+        assert torn == []
+        assert reg.stage("a").calls == 2000
+        assert reg.stage("b").total_s == pytest.approx(2000.0)
+        assert reg.counter("x") == 2000
+
+    def test_merge_counters_additive_under_single_lock(self):
+        reg = PerfRegistry()
+        reg.count("hits", 5)
+        reg.merge({"counters": {"hits": 7, "misses": 2}})
+        assert reg.counter("hits") == 12
+        assert reg.counter("misses") == 2
+
+
+class TestReportAlignment:
+    def test_long_stage_names_stay_aligned(self):
+        """Regression: names > 24 chars used to shear the columns."""
+        reg = PerfRegistry()
+        long_name = "a.very.long.stage.name.that.exceeds.24.chars"
+        reg.add_time(long_name, 1.0)
+        reg.add_time("short", 2.0)
+        reg.count("an.even.longer.counter.name.for.good.measure", 3)
+        lines = reg.report().splitlines()
+        # Every row pads the name to one shared column width, so the
+        # numeric columns line up; header format is
+        # "{stage:{w}} {calls:>8} {total s:>10} {mean ms:>10}".
+        header = lines[0]
+        width = len(header) - 31
+        assert width >= len(long_name)
+        assert width >= len("an.even.longer.counter.name.for.good.measure")
+        for line in lines:
+            # the name column never bleeds into the first numeric column
+            assert line[width] == " "
+        stage_rows = lines[1:3]
+        assert {row[:width].rstrip() for row in stage_rows} == {long_name, "short"}
+        # the right-aligned "calls" values end at the same offset
+        assert all(row[width + 1:width + 9].lstrip().isdigit() for row in stage_rows)
+
+    def test_short_names_keep_historical_width(self):
+        reg = PerfRegistry()
+        reg.add_time("raster", 1.0)
+        header = reg.report().splitlines()[0]
+        assert len(header) - 31 == 24  # name column stays 24 wide

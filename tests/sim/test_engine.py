@@ -223,3 +223,74 @@ class TestAllOf:
         sim.spawn(proc())
         sim.run()
         assert results == [["first", "second"]]
+
+
+class TestAlreadyTriggeredCombinators:
+    """any_of/all_of built over events that have already fired."""
+
+    def test_any_of_with_pre_triggered_event(self):
+        from repro.sim import any_of
+
+        sim = Simulator()
+        done = sim.event()
+        done.succeed("cached")
+        pending = sim.timeout(50.0)
+        results = []
+
+        def proc():
+            winner, value = yield any_of(sim, [pending, done])
+            results.append((sim.now, winner is done, value))
+
+        sim.spawn(proc())
+        sim.run()
+        # the pre-triggered event wins the race at t=0, not at 50 ms
+        assert results == [(0.0, True, "cached")]
+
+    def test_any_of_with_all_pre_triggered(self):
+        from repro.sim import any_of
+
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        e1.succeed("first")
+        e2.succeed("second")
+        results = []
+
+        def proc():
+            winner, value = yield any_of(sim, [e1, e2])
+            results.append((winner is e1, value))
+
+        sim.spawn(proc())
+        sim.run()
+        # deterministic FIFO ordering: the first listed event wins
+        assert results == [(True, "first")]
+
+    def test_all_of_with_pre_triggered_constituent(self):
+        sim = Simulator()
+        done = sim.event()
+        done.succeed("ready")
+        later = sim.timeout(3.0)
+        results = []
+
+        def proc():
+            values = yield all_of(sim, [done, later])
+            results.append((sim.now, values))
+
+        sim.spawn(proc())
+        sim.run()
+        # still waits for the latest constituent, values stay in order
+        assert results == [(3.0, ["ready", None])]
+
+    def test_all_of_with_all_pre_triggered(self):
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        e1.succeed(1)
+        e2.succeed(2)
+        results = []
+
+        def proc():
+            values = yield all_of(sim, [e1, e2])
+            results.append((sim.now, values))
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == [(0.0, [1, 2])]

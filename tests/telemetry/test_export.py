@@ -1,0 +1,127 @@
+"""Exporters: Chrome trace-event JSON and the JSONL event log."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    SESSION_TRACK,
+    SpanTracer,
+    read_events_jsonl,
+    record_from_dict,
+    record_to_dict,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+
+def small_trace():
+    tracer = SpanTracer()
+    tracer.complete("frame", 0, "frame", 0.0, 16.7,
+                    args={"frame": 0, "interval_ms": 16.7})
+    tracer.complete("render", 0, "render", 0.0, 8.0, args={"frame": 0})
+    tracer.complete("frame", 1, "frame", 0.0, 20.0, args={"frame": 0})
+    tracer.instant("cache.lookup", 0, "cache", 2.0, args={"outcome": "miss"})
+    tracer.counter("sim.queue_depth", 4.0, 12)
+    tracer.complete("link.transfer", SESSION_TRACK, "link 0", 1.0, 3.0,
+                    cat="net", args={"bytes": 40_000})
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_validate_against_schema(self):
+        events = to_chrome_trace(small_trace().records)
+        validate_chrome_trace(events)  # must not raise
+        phases = {ev["ph"] for ev in events}
+        assert {"M", "X", "i", "C"} <= phases
+
+    def test_players_become_processes_lanes_become_threads(self):
+        events = to_chrome_trace(small_trace().records)
+        names = {
+            (ev["pid"], ev["args"]["name"])
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        # session track is pid 0, players are pid player+1
+        assert names == {(0, "session"), (1, "player 0"), (2, "player 1")}
+        p0_threads = {
+            ev["args"]["name"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "thread_name" and ev["pid"] == 1
+        }
+        assert {"frame", "render", "cache"} <= p0_threads
+
+    def test_timestamps_convert_ms_to_us(self):
+        events = to_chrome_trace(small_trace().records)
+        render = next(
+            ev for ev in events if ev["ph"] == "X" and ev["name"] == "render"
+        )
+        assert render["ts"] == pytest.approx(0.0)
+        assert render["dur"] == pytest.approx(8000.0)
+
+    def test_write_chrome_trace_roundtrips_through_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        n = write_chrome_trace(out, small_trace().records)
+        events = json.loads(out.read_text())
+        assert len(events) == n
+        validate_chrome_trace(events)
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([{"name": "no phase"}])
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                [{"ph": "X", "pid": 1, "tid": 0, "ts": "oops", "dur": 1,
+                  "name": "x"}]
+            )
+
+
+class TestEventsJsonl:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        tracer = small_trace()
+        out = tmp_path / "events.jsonl"
+        n = write_events_jsonl(out, tracer.records)
+        assert n == len(tracer)
+        back = read_events_jsonl(out)
+        assert len(back) == len(tracer.records)
+        for a, b in zip(tracer.records, back):
+            assert (a.kind, a.name, a.cat, a.player, a.lane) == (
+                b.kind, b.name, b.cat, b.player, b.lane
+            )
+            assert b.start_ms == pytest.approx(a.start_ms, abs=1e-6)
+            assert b.dur_ms == pytest.approx(a.dur_ms, abs=1e-6)
+            assert (a.args or None) == b.args
+
+    def test_record_dict_is_schema_versioned(self):
+        (span,) = small_trace().spans("render")
+        payload = record_to_dict(span)
+        assert payload["v"] == SCHEMA_VERSION
+        assert record_from_dict(payload).name == "render"
+
+    def test_unknown_version_refused(self):
+        payload = record_to_dict(small_trace().records[0])
+        payload["v"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            record_from_dict(payload)
+
+    def test_unknown_kind_refused(self):
+        payload = record_to_dict(small_trace().records[0])
+        payload["kind"] = "mystery"
+        with pytest.raises(ValueError, match="kind"):
+            record_from_dict(payload)
+
+    def test_reader_reports_bad_line(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        out.write_text('{"v": 1, "kind": "span"\nnot json\n')
+        with pytest.raises(ValueError):
+            read_events_jsonl(out)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        tracer = small_trace()
+        out = tmp_path / "events.jsonl"
+        write_events_jsonl(out, tracer.records)
+        out.write_text(out.read_text() + "\n\n")
+        assert len(read_events_jsonl(out)) == len(tracer.records)

@@ -64,3 +64,55 @@ class TestCommands:
         assert main(["run", "mobile", "pool", "1", "--duration", "2",
                      "--faults", "freeze@0-100"]) == 2
         assert "invalid --faults" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    def test_run_writes_trace_and_events(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        assert main(["run", "coterie", "pool", "2", "--duration", "2",
+                     "--faults", "dip@400-1100:0.05",
+                     "--trace", str(trace), "--events", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "event log" in out
+        loaded = json.loads(trace.read_text())
+        validate_chrome_trace(loaded)
+        assert any(ev.get("ph") == "X" for ev in loaded)
+        assert events.read_text().count("\n") > 10
+
+    def test_report_from_events(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--events", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "frame-budget attribution" in out
+        assert "stage" in out and "p95 ms" in out
+
+    def test_report_missing_file_is_an_error(self, capsys):
+        assert main(["report", "/nonexistent/events.jsonl"]) == 2
+        assert "cannot read event log" in capsys.readouterr().err
+
+    def test_report_refuses_unknown_schema(self, tmp_path, capsys):
+        bad = tmp_path / "events.jsonl"
+        bad.write_text('{"v": 99, "kind": "span", "name": "x", "player": 0, '
+                       '"lane": "frame", "t0_ms": 0, "dur_ms": 1}\n')
+        assert main(["report", str(bad)]) == 2
+        assert "schema version" in capsys.readouterr().err
+
+    def test_run_perf_prints_stage_table(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--perf"]) == 0
+        out = capsys.readouterr().out
+        assert "run.simulate" in out
+        assert "calls" in out
+
+    def test_run_untraced_prints_tail_latencies(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out and "p99" in out
