@@ -20,7 +20,7 @@ import sys
 from typing import List, Optional
 
 from . import perf
-from .faults import FaultSchedule
+from .faults import ChurnSchedule, FaultSchedule
 from .net import ImpairmentConfig
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .telemetry import (
@@ -42,6 +42,24 @@ def _cmd_games(_args: argparse.Namespace) -> int:
     return 0
 
 
+MAX_CLI_PLAYERS = 32
+
+
+def _player_count(text: str) -> int:
+    """Argparse type for the ``players`` positional: int in [1, 32]."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"players must be an integer, got {text!r}"
+        ) from None
+    if not 1 <= value <= MAX_CLI_PLAYERS:
+        raise argparse.ArgumentTypeError(
+            f"players must be between 1 and {MAX_CLI_PLAYERS}, got {value}"
+        )
+    return value
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     impairment = None
     if args.loss > 0:
@@ -53,10 +71,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"invalid --faults spec: {exc}", file=sys.stderr)
             return 2
+    churn = None
+    if args.churn is not None:
+        if args.system in ("mobile",):
+            print("--churn requires a networked system "
+                  "(coterie, multi_furion, multi_furion_cache, thin_client)",
+                  file=sys.stderr)
+            return 2
+        try:
+            churn = ChurnSchedule.parse(args.churn)
+        except ValueError as exc:
+            print(f"invalid --churn spec: {exc}", file=sys.stderr)
+            return 2
+    if args.max_players is not None and args.players > args.max_players:
+        print(f"players ({args.players}) exceeds --max-players "
+              f"({args.max_players})", file=sys.stderr)
+        return 2
     tracer = SpanTracer() if (args.trace or args.events) else None
     config = SessionConfig(duration_s=args.duration, seed=args.seed,
                            wifi_mbps=args.wifi_mbps,
                            impairment=impairment, faults=faults,
+                           churn=churn, max_players=args.max_players,
                            tracer=tracer)
     if args.perf:
         with perf.timed("run.simulate"):
@@ -95,6 +130,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  stale frames    : {stale} (max age {max_age:.1f} ms)")
         print(f"  fetch retries   : {retries} "
               f"({abandoned} abandoned, {rewarms} re-warms)")
+    if result.membership is not None:
+        member = result.membership
+        print("  -- membership --")
+        print(f"  roster          : {member.initial_players} initial, "
+              f"{member.total_slots} slots, "
+              f"{len(member.final_active)} active at end")
+        print(f"  joins           : {member.joins_requested} requested, "
+              f"{member.joins_admitted} admitted, "
+              f"{member.joins_rejected} rejected "
+              f"({member.joins_queued} queued retries)")
+        print(f"  departures      : {member.leaves} graceful, "
+              f"{member.evictions} evicted")
+        print(f"  epochs          : {member.n_epochs} "
+              f"({member.invariant_checks} invariant checks, "
+              f"{member.invariant_violations} violations)")
+        admitted = [s for s in member.stats if s.join_latency_ms > 0]
+        if admitted:
+            lat = sum(s.join_latency_ms for s in admitted) / len(admitted)
+            warm = sum(s.warmup_ms for s in admitted) / len(admitted)
+            print(f"  join latency    : {lat:.1f} ms mean "
+                  f"(warm-up {warm:.1f} ms)")
     if tracer is not None:
         if args.trace:
             n = write_chrome_trace(args.trace, tracer.records)
@@ -167,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one experiment")
     run.add_argument("system", choices=SYSTEMS)
     run.add_argument("game", choices=ALL_GAMES)
-    run.add_argument("players", type=int, nargs="?", default=2)
+    run.add_argument("players", type=_player_count, nargs="?", default=2,
+                     help=f"initial player count (1-{MAX_CLI_PLAYERS})")
     run.add_argument("--duration", type=float, default=10.0,
                      help="simulated seconds of game play")
     run.add_argument("--seed", type=int, default=7)
@@ -177,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--faults", default=None,
                      help="fault schedule, e.g. "
                           "'dip@3000-8000:0.02,stall@1000-1500:25,outage@2000-4000:1'")
+    run.add_argument("--churn", default=None,
+                     help="membership churn schedule, e.g. "
+                          "'join@2000,crash@5000:1,leave@7000:0,"
+                          "flap@3000-9000:2~800'")
+    run.add_argument("--max-players", type=int, default=None,
+                     help="admission-control roster cap (default 8)")
     run.add_argument("--trace", default=None, metavar="OUT.json",
                      help="write a Perfetto/chrome://tracing trace of the run")
     run.add_argument("--events", default=None, metavar="OUT.jsonl",

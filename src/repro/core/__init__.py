@@ -4,8 +4,10 @@ from .cache import FLF, LRU, CachedFrame, CacheStats, FrameCache
 from .constraint import (
     FRAME_BUDGET_MS,
     PAPER_FI_BOUND_MS,
+    BandwidthBudget,
     RenderBudget,
     measure_fi_budget,
+    satisfies_bandwidth_constraint,
     satisfies_constraint,
 )
 from .cutoff import (
@@ -60,6 +62,7 @@ __all__ = [
     "PrefetchDecision",
     "Prefetcher",
     "PreprocessOptions",
+    "BandwidthBudget",
     "RenderBudget",
     "StoredFrame",
     "build_cutoff_map",
@@ -75,6 +78,7 @@ __all__ = [
     "measure_dist_thresh",
     "measure_fi_budget",
     "preprocess_game",
+    "satisfies_bandwidth_constraint",
     "satisfies_constraint",
     "switch_discontinuities",
     "world_cache_key",

@@ -1,18 +1,26 @@
-"""Constraint 1: the render-time budget that bounds the cutoff radius.
+"""Constraints 1 and 2: the budgets that bound the offline cutoff choice.
 
-The mobile device must render FI plus near BE inside the 60 FPS frame
-budget (§4.3):
+Constraint 1 — the mobile device must render FI plus near BE inside the
+60 FPS frame budget (§4.3):
 
     RT_FI + RT_nearBE < 16.7 ms
 
 RT_FI is measured per app/device from recorded game play and bounded
 conservatively (the paper measures "well below 4 ms" on Pixel 2 and uses
 4 ms, leaving 12.7 ms for near BE).
+
+Constraint 2 — the aggregate traffic of all co-present players must fit
+the shared wireless medium (§4.2-4.3, Table 9): the per-player far-BE
+fetch streams plus the FI sync fanout may not exceed the link's usable
+capacity.  The offline dist-thresh check evaluates it for a fixed party;
+:func:`satisfies_bandwidth_constraint` is the online form the session
+supervisor re-validates on every membership change.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..geometry import Vec2
 from ..render.timing import RenderCostModel
@@ -88,3 +96,51 @@ def satisfies_constraint(
     if cutoff_radius < 0:
         raise ValueError("cutoff_radius must be non-negative")
     return model.near_be_ms(scene, viewpoint, cutoff_radius) < budget.near_be_budget_ms
+
+
+@dataclass(frozen=True)
+class BandwidthBudget:
+    """Constraint 2's capacity bound for one shared wireless medium.
+
+    ``utilization_bound`` keeps a slice of the nominal capacity unspent,
+    the network analogue of :class:`RenderBudget.headroom`: 802.11ac
+    never sustains its nominal rate under contention, and admission that
+    fills the medium to 100 % would push every admitted player past the
+    frame budget the moment jitter strikes.
+    """
+
+    capacity_mbps: float
+    utilization_bound: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ValueError("capacity_mbps must be positive")
+        if not 0 < self.utilization_bound <= 1.0:
+            raise ValueError("utilization_bound must be in (0, 1]")
+
+    @property
+    def usable_mbps(self) -> float:
+        """Capacity actually available to BE + FI traffic."""
+        return self.capacity_mbps * self.utilization_bound
+
+
+def satisfies_bandwidth_constraint(
+    per_player_be_kbps: Iterable[float],
+    fi_kbps: float,
+    budget: BandwidthBudget,
+) -> bool:
+    """Constraint 2: the roster's aggregate traffic fits the medium.
+
+    ``per_player_be_kbps`` holds one background-environment fetch-rate
+    estimate per co-present player (dist-thresh-derived for Coterie,
+    every-interval whole-BE for Furion-style systems); ``fi_kbps`` is
+    the closed-form FI sync bandwidth for the same roster size.
+    """
+    if fi_kbps < 0:
+        raise ValueError("fi_kbps must be non-negative")
+    total_kbps = fi_kbps
+    for be_kbps in per_player_be_kbps:
+        if be_kbps < 0:
+            raise ValueError("per-player bandwidth must be non-negative")
+        total_kbps += be_kbps
+    return total_kbps / 1000.0 <= budget.usable_mbps

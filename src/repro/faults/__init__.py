@@ -1,5 +1,6 @@
 """Fault injection: scripted link/server/client failures for any run."""
 
+from .churn import ChurnSchedule, CrashEvent, JoinEvent, LeaveEvent
 from .injector import FaultInjector
 from .schedule import (
     ClientOutage,
@@ -9,9 +10,13 @@ from .schedule import (
 )
 
 __all__ = [
+    "ChurnSchedule",
     "ClientOutage",
+    "CrashEvent",
     "FaultInjector",
     "FaultSchedule",
+    "JoinEvent",
+    "LeaveEvent",
     "LinkDegradation",
     "ServerStall",
 ]

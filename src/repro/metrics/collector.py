@@ -78,6 +78,13 @@ class SessionMetrics:
     fetch_retries: int = 0
     fetches_abandoned: int = 0
     rewarm_fetches: int = 0
+    # Membership outcomes (session supervision); all zero/one on a
+    # churn-free run so clean-run equality is preserved bit-for-bit.
+    join_latency_ms: float = 0.0  # join request -> ACTIVE, summed
+    warmup_ms: float = 0.0  # admission -> ACTIVE, summed
+    epochs_survived: int = 0  # membership epochs spent ACTIVE
+    evictions: int = 0  # failure-detector evictions of this slot
+    incarnations: int = 0  # admissions (0 when supervision is off)
 
 
 class MetricsCollector:

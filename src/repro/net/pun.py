@@ -15,6 +15,7 @@ link for Table 9 accounting; sync latency is the small UDP round trip.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -60,7 +61,21 @@ class PunChannel:
         self.n_players = n_players
         self.config = config
         self._rng = np.random.default_rng(seed)
-        self._last_tick_ms = -1e18
+        self._last_tick_ms: Optional[float] = None  # None until first send
+
+    # ------------------------------------------------------------------
+    # Roster (session supervision: membership changes mid-run)
+    # ------------------------------------------------------------------
+
+    def add_player(self) -> None:
+        """A player entered the room: FI fanout grows immediately."""
+        self.n_players += 1
+
+    def remove_player(self) -> None:
+        """A player left the room (graceful leave or eviction)."""
+        if self.n_players <= 0:
+            raise ValueError("no players left to remove")
+        self.n_players -= 1
 
     # ------------------------------------------------------------------
     # Latency (what the per-frame pipeline sees)
@@ -84,13 +99,23 @@ class PunChannel:
 
         Called by the session loop once per rendering interval; emits
         traffic at the configured send rate regardless of frame rate.
+        The send clock advances in whole period multiples: a tick that
+        arrives late (a slow frame) keeps the fractional remainder, so
+        the long-run send rate stays at ``send_rate_hz`` instead of
+        drifting below it by one frame's jitter per tick.
         """
+        if self.n_players < 1:
+            return  # empty room: nothing syncs, nothing heartbeats
         period_ms = 1000.0 / (
             self.config.send_rate_hz if self.n_players > 1 else self.config.heartbeat_hz
         )
-        if self.sim.now - self._last_tick_ms < period_ms:
-            return
-        self._last_tick_ms = self.sim.now
+        if self._last_tick_ms is None:
+            self._last_tick_ms = self.sim.now
+        else:
+            elapsed = self.sim.now - self._last_tick_ms
+            if elapsed < period_ms:
+                return
+            self._last_tick_ms += int(elapsed / period_ms) * period_ms
         if self.n_players == 1:
             self.link.record_datagram(self.config.heartbeat_bytes, tag="fi")
             return
@@ -99,10 +124,17 @@ class PunChannel:
         fanout = n * (n - 1) * self.config.state_bytes
         self.link.record_datagram(uploads + fanout, tag="fi")
 
-    def expected_bandwidth_kbps(self) -> float:
-        """Closed-form FI bandwidth (for validation against Table 9)."""
-        if self.n_players == 1:
+    def expected_bandwidth_kbps(self, n_players: Optional[int] = None) -> float:
+        """Closed-form FI bandwidth (for validation against Table 9).
+
+        ``n_players`` evaluates a hypothetical roster size — admission
+        control forecasts the post-join FI load this way — and defaults
+        to the live roster.
+        """
+        n = self.n_players if n_players is None else n_players
+        if n <= 0:
+            return 0.0
+        if n == 1:
             return self.config.heartbeat_bytes * 8 * self.config.heartbeat_hz / 1000.0
-        n = self.n_players
         per_tick = n * self.config.state_bytes + n * (n - 1) * self.config.state_bytes
         return per_tick * 8 * self.config.send_rate_hz / 1000.0

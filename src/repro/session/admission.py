@@ -1,0 +1,120 @@
+"""Admission control: re-validate the paper's constraints per join.
+
+The offline pipeline sizes Coterie's cutoffs and dist-thresh for a
+*fixed* party (§4.2-4.3); a join changes the party, so the supervisor
+re-runs the same feasibility logic online before a new player may warm
+up:
+
+* **Constraint 2** (aggregate bandwidth): per-player BE fetch-rate
+  estimates — for Coterie, player speed over the dist-thresh at the
+  joiner's position times the mean far-BE wire size, i.e. exactly the
+  quantities ``core.dist_thresh`` trades off offline — plus the
+  closed-form FI fanout for the post-join roster must fit the medium's
+  usable capacity (:func:`~repro.core.constraint.satisfies_bandwidth_constraint`).
+* **Constraint 1** (render budget): the joiner's device must be able to
+  render FI + near BE at the cutoff radius of its spawn region
+  (:func:`~repro.core.constraint.satisfies_constraint`); the system
+  runner supplies this as a ``render_check`` callback.
+* **Roster cap** — ``--max-players``.
+
+A rejected join may be *queued*: the supervisor retries it on an
+interval until the schedule's patience runs out, so a leave can make
+room for a previously refused player.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..core.constraint import BandwidthBudget, satisfies_bandwidth_constraint
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission evaluation (logged per attempt)."""
+
+    admitted: bool
+    reason: str  # "ok" or the first constraint that failed
+    roster_after: int  # players counted if this join were admitted
+    predicted_be_kbps: float  # aggregate BE estimate for that roster
+    predicted_fi_kbps: float  # closed-form FI fanout for that roster
+    utilization: float  # predicted fraction of *nominal* capacity
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Evaluates joins against the live roster's constraint envelope.
+
+    ``be_kbps_for(slot)`` estimates one player's BE fetch bandwidth
+    (system-specific: Coterie derives it from dist-thresh, Furion-style
+    systems fetch whole-BE frames every interval); ``fi_kbps_for(n)``
+    is the closed-form FI bandwidth at roster size ``n`` (the live
+    :meth:`~repro.net.pun.PunChannel.expected_bandwidth_kbps`);
+    ``render_check(slot)``, when given, enforces Constraint 1 at the
+    joiner's position.  The controller is pure — no simulator, no RNG —
+    so admission outcomes are a deterministic function of (roster,
+    joiner, time).
+    """
+
+    def __init__(
+        self,
+        budget: BandwidthBudget,
+        be_kbps_for: Callable[[int], float],
+        fi_kbps_for: Callable[[int], float],
+        max_players: int,
+        render_check: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if max_players < 1:
+            raise ValueError("max_players must be >= 1")
+        self.budget = budget
+        self.be_kbps_for = be_kbps_for
+        self.fi_kbps_for = fi_kbps_for
+        self.max_players = max_players
+        self.render_check = render_check
+
+    # ------------------------------------------------------------------
+
+    def _measure(self, slots: Sequence[int]) -> AdmissionDecision:
+        """Constraint-2 arithmetic for a hypothetical roster."""
+        be_kbps = [self.be_kbps_for(slot) for slot in slots]
+        fi_kbps = self.fi_kbps_for(len(slots))
+        fits = satisfies_bandwidth_constraint(be_kbps, fi_kbps, self.budget)
+        total_mbps = (sum(be_kbps) + fi_kbps) / 1000.0
+        return AdmissionDecision(
+            admitted=fits,
+            reason="ok" if fits else "constraint-2",
+            roster_after=len(slots),
+            predicted_be_kbps=sum(be_kbps),
+            predicted_fi_kbps=fi_kbps,
+            utilization=total_mbps / self.budget.capacity_mbps,
+        )
+
+    def evaluate(self, roster: Sequence[int], joiner: int) -> AdmissionDecision:
+        """May ``joiner`` enter given the current ``roster``?
+
+        Checks are ordered cheapest-first; the decision records the
+        first failure so rejections are attributable.
+        """
+        candidate = [*roster, joiner]
+        if len(candidate) > self.max_players:
+            return AdmissionDecision(
+                admitted=False, reason="roster-full",
+                roster_after=len(candidate),
+                predicted_be_kbps=0.0, predicted_fi_kbps=0.0,
+                utilization=0.0,
+            )
+        if self.render_check is not None and not self.render_check(joiner):
+            return AdmissionDecision(
+                admitted=False, reason="constraint-1",
+                roster_after=len(candidate),
+                predicted_be_kbps=0.0, predicted_fi_kbps=0.0,
+                utilization=0.0,
+            )
+        return self._measure(candidate)
+
+    def validate(self, roster: Sequence[int]) -> AdmissionDecision:
+        """Constraint 2 for the roster *as is* (epoch re-validation)."""
+        return self._measure(list(roster))

@@ -1,0 +1,66 @@
+"""Runtime invariants the supervision subsystem must never break.
+
+The supervisor asserts these at every membership transition (and the
+system loops at every frame), so a violation aborts the run at the
+moment the state corrupted — not thousands of simulated frames later
+when a metric looks odd.  The checks:
+
+1. **Legal transitions only** — every state change follows an edge of
+   :data:`~repro.session.membership.ALLOWED_TRANSITIONS`.
+2. **Monotone epochs** — the epoch counter strictly increases and the
+   log timestamps never run backwards.
+3. **FI fanout matches the roster** — ``PunChannel.n_players`` equals
+   the number of slots currently in the room.
+4. **Constraint 2 per admitted epoch** — every epoch created by an
+   admission still satisfies the aggregate-bandwidth check for the new
+   ACTIVE set.
+5. **Frames only to displaying players** — a frame may be recorded for
+   an ACTIVE player (or a SUSPECT one: a frame already in flight when
+   the detector lost its heartbeats), never for an idle, joining,
+   warming, left, or crashed slot.
+
+All checks are pure assertions over supervisor state: the checker never
+touches the simulator, RNG, or the network, so a run with churn enabled
+but no churn events is bit-identical to one without a supervisor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class InvariantViolation(AssertionError):
+    """A supervision invariant failed; the run's state is corrupt."""
+
+    def __init__(self, message: str, context: Optional[Dict[str, Any]] = None):
+        if context:
+            details = ", ".join(f"{k}={v!r}" for k, v in context.items())
+            message = f"{message} ({details})"
+        super().__init__(message)
+        self.context = context or {}
+
+
+class InvariantChecker:
+    """Counts and enforces the membership invariants.
+
+    ``checks`` counts every assertion evaluated (the chaos tests require
+    it to be non-zero — a suite that silently skipped its invariants
+    would pass vacuously); ``violations`` stays zero on any surviving
+    run because :meth:`require` raises on the first failure.
+    """
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.violations = 0
+
+    def require(
+        self,
+        condition: bool,
+        message: str,
+        **context: Any,
+    ) -> None:
+        """Assert one invariant; raise with context on failure."""
+        self.checks += 1
+        if not condition:
+            self.violations += 1
+            raise InvariantViolation(message, context)

@@ -20,7 +20,7 @@ import numpy as np
 import dataclasses
 
 from ..codec import CodecTiming, FrameCodec
-from ..faults import FaultInjector, FaultSchedule
+from ..faults import ChurnSchedule, FaultInjector, FaultSchedule
 from ..metrics import (
     CpuModel,
     FrameRecord,
@@ -31,6 +31,7 @@ from ..metrics import (
 )
 from ..net import ImpairmentConfig, LinkImpairment, PunChannel, WifiLink
 from ..render import PIXEL2, DeviceProfile, RenderConfig, RenderCostModel
+from ..session import MembershipSummary, SessionSupervisor, SupervisorConfig
 from ..sim import Simulator
 from ..telemetry import as_tracer
 from ..trace import Trajectory, generate_party
@@ -65,6 +66,10 @@ class SessionConfig:
     fetch_timeout_ms: float = 250.0  # first background-retry timeout
     fetch_max_retries: int = 5  # background re-issues before giving up
     fetch_backoff_cap_ms: float = 2000.0  # retry timeout ceiling
+    # --- session membership (None: fixed roster, no supervisor) ---
+    churn: Optional[ChurnSchedule] = None  # scripted join/leave/crash
+    supervision: Optional[SupervisorConfig] = None  # detector/admission knobs
+    max_players: Optional[int] = None  # roster cap (overrides supervision's)
     # --- observability (None: tracing off, zero overhead) ---
     # A repro.telemetry.SpanTracer recording sim-time spans for the whole
     # online path.  Purely observational: a traced run produces the same
@@ -82,6 +87,22 @@ class SessionConfig:
             raise ValueError("fetch timeouts must be positive")
         if self.fetch_max_retries < 0:
             raise ValueError("fetch_max_retries must be non-negative")
+        if self.max_players is not None and self.max_players < 1:
+            raise ValueError("max_players must be >= 1")
+
+    @property
+    def supervised(self) -> bool:
+        """Whether a session supervisor runs (any churn config, even an
+        empty schedule, turns supervision on; None keeps the fixed-roster
+        clean path bit-identical)."""
+        return self.churn is not None
+
+    def supervisor_config(self) -> SupervisorConfig:
+        """The effective supervision knobs for this run."""
+        base = self.supervision or SupervisorConfig()
+        if self.max_players is not None:
+            base = dataclasses.replace(base, max_players=self.max_players)
+        return base
 
     @property
     def degraded_mode(self) -> bool:
@@ -132,6 +153,8 @@ class RunResult:
     be_mbps: float  # aggregate BE traffic over the air
     fi_kbps: float  # aggregate FI sync traffic
     link_utilization: float
+    # Membership outcome when a session supervisor ran (None otherwise).
+    membership: Optional[MembershipSummary] = None
 
     @property
     def mean_fps(self) -> float:
@@ -187,12 +210,33 @@ class Session:
         self.cost_model = RenderCostModel(config.device)
         self.codec = FrameCodec(crf=config.codec_crf)
         self.codec_timing = CodecTiming()
-        self.trajectories: List[Trajectory] = generate_party(
-            world, n_players, config.duration_s, seed=config.seed
+        # Late joiners occupy slots beyond the initial roster; with no
+        # churn configured total_slots == n_players and every line below
+        # is bit-identical to the fixed-roster code.
+        extra_slots = (
+            config.churn.new_player_count() if config.churn is not None else 0
         )
-        self.collectors = [MetricsCollector() for _ in range(n_players)]
+        self.total_slots = n_players + extra_slots
+        if config.churn is not None:
+            config.churn.validate_slots(self.total_slots)
+        self.trajectories: List[Trajectory] = generate_party(
+            world, self.total_slots, config.duration_s, seed=config.seed
+        )
+        self.collectors = [MetricsCollector() for _ in range(self.total_slots)]
         self.fi_ms = self.cost_model.fi_ms(world.spec.fi_triangles)
         self.horizon_ms = config.duration_s * 1000.0
+        self.supervisor: Optional[SessionSupervisor] = None
+        if config.supervised:
+            self.supervisor = SessionSupervisor(
+                self.sim,
+                config.churn,
+                n_initial=n_players,
+                total_slots=self.total_slots,
+                config=config.supervisor_config(),
+                pun=self.pun,
+                tracer=self.tracer,
+                horizon_ms=self.horizon_ms,
+            )
 
     def _build_impairment(self) -> Optional[LinkImpairment]:
         """Compose the configured impairment with fault-schedule windows.
@@ -389,7 +433,21 @@ class Session:
         power_model = PowerModel()
         players = []
         for player_id, collector in enumerate(self.collectors):
+            if self.supervisor is not None and not collector.records:
+                # A slot that never displayed a frame (join rejected, or
+                # crashed mid-warm-up) has no QoE row to report.
+                continue
             metrics = collector.summary(cpu_utilization=cpu_per_player[player_id])
+            if self.supervisor is not None:
+                stats = self.supervisor.stats[player_id]
+                metrics = dataclasses.replace(
+                    metrics,
+                    join_latency_ms=stats.join_latency_ms,
+                    warmup_ms=stats.warmup_ms,
+                    epochs_survived=stats.epochs_survived,
+                    evictions=stats.evictions,
+                    incarnations=stats.incarnations,
+                )
             net_share = be_mbps / self.n_players
             power = power_model.draw_w(
                 metrics.cpu_utilization, metrics.gpu_utilization, net_share
@@ -419,4 +477,7 @@ class Session:
             be_mbps=be_mbps,
             fi_kbps=fi_kbps,
             link_utilization=self.link.utilization(horizon),
+            membership=(
+                self.supervisor.summary() if self.supervisor is not None else None
+            ),
         )

@@ -39,11 +39,13 @@ from typing import List
 
 from .. import perf
 from ..core.cache import FrameCache
+from ..core.constraint import BandwidthBudget, satisfies_constraint
 from ..core.pipeline import PipelineTimings, frame_interval_ms
 from ..core.prefetch import Prefetcher
 from ..core.preprocess import OfflineArtifacts, PanoramaStore
 from ..metrics import CpuModel, FrameRecord
 from ..render.splitter import eye_at, reference_frame, render_fi, render_near_be
+from ..session import ACTIVE, WARMING, AdmissionController
 from ..similarity import ssim
 from ..sim import any_of
 from ..trace import avatars_at
@@ -82,6 +84,8 @@ def run_coterie(
         raise ValueError("ssim_stride must be >= 1")
     session = Session(world, n_players, config)
     sim = session.sim
+    supervisor = session.supervisor
+    n_slots = session.total_slots
     store = PanoramaStore(
         world,
         config.render_config,
@@ -97,7 +101,7 @@ def run_coterie(
         FrameCache(
             capacity_bytes=config.cache_capacity_bytes, policy=config.cache_policy
         )
-        for _ in range(n_players)
+        for _ in range(n_slots)
     ]
     prefetchers = [
         Prefetcher(
@@ -107,11 +111,11 @@ def run_coterie(
             artifacts.dist_thresh_map,
             caches[player_id],
         )
-        for player_id in range(n_players)
+        for player_id in range(n_slots)
     ]
-    switch_ssims: List[List[float]] = [[] for _ in range(n_players)]
-    last_far = [None] * n_players
-    frame_counters = [0] * n_players
+    switch_ssims: List[List[float]] = [[] for _ in range(n_slots)]
+    last_far = [None] * n_slots
+    frame_counters = [0] * n_slots
     degraded = config.degraded_mode
     tracer = session.tracer
     if tracer.enabled:
@@ -121,8 +125,14 @@ def run_coterie(
     # Per-player degradation state: an in-flight background fetch (at most
     # one — a second would just contend with the first), and a pending
     # cache re-warm after a reconnect.
-    pending_fetch = [False] * n_players
-    needs_rewarm = [False] * n_players
+    pending_fetch = [False] * n_slots
+    needs_rewarm = [False] * n_slots
+
+    def overhear_targets(player_id):
+        """Caches a server reply is mirrored into (overhear variant)."""
+        if supervisor is None:
+            return range(n_players)
+        return supervisor.active_slots()
 
     def admit_all(decision, stored, frame_bytes, now_ms, player_id):
         """Admit a fetched frame, mirroring to other caches if overhearing."""
@@ -130,7 +140,7 @@ def run_coterie(
             decision, stored, frame_bytes, now_ms, origin_player=player_id
         )
         if overhear:
-            for other in range(n_players):
+            for other in overhear_targets(player_id):
                 if other != player_id:
                     prefetchers[other].admit(
                         decision, stored, frame_bytes, now_ms,
@@ -187,10 +197,80 @@ def run_coterie(
                       "bytes": frame_bytes},
             )
 
+    def blocking_fetch(player_id, frame_bytes):
+        """One warm-up fetch with the background-retry discipline.
+
+        Same timeout / abort / capped-exponential-backoff pattern as
+        :func:`background_fetch`, but blocking — the joiner has no
+        display to keep at cadence yet.  Returns True when the frame
+        landed, False when the retry budget is spent.
+        """
+        resilience = session.collectors[player_id].resilience
+        timeout_ms = config.fetch_timeout_ms
+        ev = session.link.transfer(frame_bytes, tag="be")
+        for attempt in range(config.fetch_max_retries + 1):
+            if attempt > 0:
+                resilience.fetch_retries += 1
+                perf.count("resilience.fetch_retries")
+                ev = session.link.transfer(frame_bytes, tag="be")
+            yield any_of(sim, [ev, sim.timeout(timeout_ms)])
+            if not ev.triggered and session.link.abort(ev):
+                timeout_ms = min(timeout_ms * 2.0, config.fetch_backoff_cap_ms)
+                continue
+            if not ev.triggered:
+                yield ev  # completion raced the timeout; nearly done
+            return True
+        resilience.fetches_abandoned += 1
+        perf.count("resilience.fetches_abandoned")
+        return False
+
+    def warmup(player_id: int):
+        """Late-joiner warm-up: stream the working set before ACTIVE.
+
+        Fetches the panoramas the joiner's trajectory needs next (one
+        grid point per upcoming display interval span) through the
+        normal prefetch planner, so admission's promise — the player
+        starts with a warm cache — is kept with real transfers on the
+        shared link, not by fiat.
+        """
+        started_ms = sim.now
+        prefetcher = prefetchers[player_id]
+        fetched = 0
+        lookahead_ms = 0.0
+        while fetched < supervisor.config.warmup_fetches:
+            if not supervisor.poll(player_id):
+                return  # crashed / left / evicted mid-handshake
+            sample = session.position_at(player_id, sim.now + lookahead_ms)
+            decision = prefetcher.plan(sample.position, sample.heading, sim.now)
+            lookahead_ms += 200.0
+            if not decision.needs_fetch:
+                fetched += 1  # trajectory start revisits a cached point
+                continue
+            stored = store.frame_for(decision.grid_point)
+            ok = yield from blocking_fetch(player_id, stored.wire_bytes)
+            if ok:
+                admit_all(decision, stored, stored.wire_bytes, sim.now,
+                          player_id)
+            fetched += 1
+        if not supervisor.poll(player_id):
+            return
+        if supervisor.activate(player_id) and tracer.enabled:
+            tracer.complete(
+                "warmup", player_id, "net", started_ms, sim.now - started_ms,
+                cat="membership",
+                args={"fetches": supervisor.config.warmup_fetches},
+            )
+
     def client(player_id: int):
         prefetcher = prefetchers[player_id]
         collector = session.collectors[player_id]
+        if supervisor is not None and supervisor.state(player_id) == WARMING:
+            yield from warmup(player_id)
+            if supervisor.state(player_id) != ACTIVE:
+                return  # never finished the handshake
         while sim.now < session.horizon_ms:
+            if supervisor is not None and not supervisor.poll(player_id):
+                return  # left, crashed, or evicted: no silent rejoin
             if degraded:
                 resume = session.outage_resume_ms(player_id, sim.now)
                 if resume is not None and resume > sim.now:
@@ -336,6 +416,8 @@ def run_coterie(
                     stale_age_ms=stale_age_ms,
                 )
             )
+            if supervisor is not None:
+                supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:
                 if not use_cache:
                     outcome = "bypass"
@@ -359,11 +441,15 @@ def run_coterie(
     def _displayed_ssim(session, world, player_id, sample, decision, far_image):
         """SSIM of the actually displayed frame vs. the all-local reference."""
         eye = eye_at(world.scene, sample.position, world.spec.player.eye_height)
+        roster = (
+            list(range(n_players)) if supervisor is None
+            else supervisor.active_slots()
+        )
         positions = [
-            session.position_at(other, sim.now).position
-            for other in range(n_players)
+            session.position_at(other, sim.now).position for other in roster
         ]
-        avatars = avatars_at(world, positions, exclude_player=player_id)
+        exclude = roster.index(player_id) if player_id in roster else -1
+        avatars = avatars_at(world, positions, exclude_player=exclude)
         near = render_near_be(
             world.scene, eye, config.render_config, decision.cutoff_radius
         )
@@ -377,8 +463,59 @@ def run_coterie(
         )
         return ssim(displayed, reference)
 
-    for player_id in range(n_players):
-        sim.spawn(client(player_id))
+    if supervisor is None:
+        for player_id in range(n_players):
+            sim.spawn(client(player_id))
+    else:
+        speed = max(world.spec.player.speed, 1e-3)
+        far_bytes = artifacts.far_size_model.mean_bytes
+
+        def be_kbps_for(slot):
+            """Dist-thresh fetch-rate estimate (Constraint 2's BE term).
+
+            A player moving at ``speed`` re-fetches roughly every
+            dist-thresh metres (§4.3): the reuse displacement at its
+            current position bounds how far a cached panorama stays
+            usable, so fetch rate ≈ speed / dist_thresh, capped at one
+            fetch per display interval.
+            """
+            position = session.position_at(slot, sim.now).position
+            thresh = max(
+                artifacts.dist_thresh_map.threshold_for(position), 1e-3
+            )
+            fetch_hz = min(60.0, speed / thresh)
+            return fetch_hz * far_bytes * 8.0 / 1000.0
+
+        def render_ok(slot):
+            """Constraint 1 at the joiner's spawn region."""
+            position = session.position_at(slot, sim.now).position
+            cutoff = artifacts.cutoff_map.cutoff_for(position)
+            return satisfies_constraint(
+                session.cost_model, world.scene, position, cutoff,
+                artifacts.budget,
+            )
+
+        admission = AdmissionController(
+            budget=BandwidthBudget(
+                capacity_mbps=config.wifi_mbps,
+                utilization_bound=supervisor.config.utilization_bound,
+            ),
+            be_kbps_for=be_kbps_for,
+            fi_kbps_for=session.pun.expected_bandwidth_kbps,
+            max_players=supervisor.config.max_players,
+            render_check=render_ok,
+        )
+
+        def spawn_client(slot, rejoining):
+            if rejoining:
+                # A new incarnation starts cold: the previous life's
+                # cache, pending fetch, and re-warm flags are stale.
+                caches[slot].clear()
+                pending_fetch[slot] = False
+                needs_rewarm[slot] = False
+            sim.spawn(client(slot))
+
+        supervisor.start(spawn_client, admission)
     sim.run_until(session.horizon_ms)
 
     cpu_model = CpuModel()
@@ -391,7 +528,9 @@ def run_coterie(
             cache_enabled=use_cache,
             n_players=n_players,
         )
-        for p in range(n_players)
+        if session.collectors[p].records
+        else 0.0
+        for p in range(session.total_slots)
     ]
     name = "coterie" if use_cache else "coterie_nocache"
     if overhear:

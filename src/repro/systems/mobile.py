@@ -14,6 +14,11 @@ from .base import SENSOR_SCANOUT_MS, RunResult, Session, SessionConfig
 
 def run_mobile(world: GameWorld, n_players: int, config: SessionConfig) -> RunResult:
     """Simulate N players on the local-rendering baseline."""
+    if config.churn is not None:
+        raise ValueError(
+            "the mobile baseline has no network session to supervise; "
+            "churn requires coterie, multi_furion, or thin_client"
+        )
     session = Session(world, n_players, config)
     sim = session.sim
 

@@ -19,9 +19,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.cache import CachedFrame, FrameCache
+from ..core.constraint import BandwidthBudget
 from ..core.pipeline import PipelineTimings, frame_interval_ms
 from ..core.preprocess import FrameSizeModel, calibrate_size_model
 from ..metrics import CpuModel, FrameRecord
+from ..session import ACTIVE, WARMING, AdmissionController
 from ..world.games import GameWorld
 from .base import (
     MIN_YIELD_MS,
@@ -44,6 +46,8 @@ def run_multi_furion(
     """Simulate N players under the replicated Furion architecture."""
     session = Session(world, n_players, config)
     sim = session.sim
+    supervisor = session.supervisor
+    n_slots = session.total_slots
     if size_model is None:
         size_model = calibrate_size_model(
             world, config.render_config, session.codec, None, kind="whole",
@@ -58,7 +62,7 @@ def run_multi_furion(
         )
         if exact_cache
         else None
-        for _ in range(n_players)
+        for _ in range(n_slots)
     ]
 
     tracer = session.tracer
@@ -68,10 +72,41 @@ def run_multi_furion(
                 cache.tracer = tracer
                 cache.owner = player_id
 
+    def warmup(player_id: int):
+        """Late-joiner handshake: block on one whole-BE panorama.
+
+        Furion-style clients need the next grid point's panorama before
+        they can display anything; streaming it through the shared link
+        (with any scripted server stall) is the whole warm-up.
+        """
+        started_ms = sim.now
+        if not supervisor.poll(player_id):
+            return
+        sample = session.position_at(player_id, sim.now)
+        grid_point = session.world.grid.snap(sample.position)
+        frame_bytes = size_model.sample(grid_point)
+        stall_ms = session.server_stall_ms(sim.now)
+        if stall_ms > 0:
+            yield stall_ms
+        yield session.link.transfer(frame_bytes, tag="be")
+        if not supervisor.poll(player_id):
+            return
+        if supervisor.activate(player_id) and tracer.enabled:
+            tracer.complete(
+                "warmup", player_id, "net", started_ms, sim.now - started_ms,
+                cat="membership", args={"bytes": frame_bytes},
+            )
+
     def client(player_id: int):
         cache = caches[player_id]
         frame_index = 0
+        if supervisor is not None and supervisor.state(player_id) == WARMING:
+            yield from warmup(player_id)
+            if supervisor.state(player_id) != ACTIVE:
+                return
         while sim.now < session.horizon_ms:
+            if supervisor is not None and not supervisor.poll(player_id):
+                return  # left, crashed, or evicted: no silent rejoin
             resume = session.outage_resume_ms(player_id, sim.now)
             if resume is not None and resume > sim.now:
                 outage_start = sim.now
@@ -134,6 +169,8 @@ def run_multi_furion(
                     cache_hit=(hit is not None) if cache is not None else None,
                 )
             )
+            if supervisor is not None:
+                supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:
                 outcome = None
                 if cache is not None:
@@ -148,8 +185,31 @@ def run_multi_furion(
             # simulated instant when the transfer ate the whole interval.
             yield remaining if remaining > 0 else MIN_YIELD_MS
 
-    for player_id in range(n_players):
-        sim.spawn(client(player_id))
+    if supervisor is None:
+        for player_id in range(n_players):
+            sim.spawn(client(player_id))
+    else:
+        # Whole-BE systems fetch a fresh panorama every display interval,
+        # so the Constraint-2 BE term is simply 60 Hz x the mean wire
+        # size — which is why Multi-Furion joins are usually rejected on
+        # links that admit Coterie joins comfortably.
+        whole_kbps = 60.0 * size_model.mean_bytes * 8.0 / 1000.0
+        admission = AdmissionController(
+            budget=BandwidthBudget(
+                capacity_mbps=config.wifi_mbps,
+                utilization_bound=supervisor.config.utilization_bound,
+            ),
+            be_kbps_for=lambda slot: whole_kbps,
+            fi_kbps_for=session.pun.expected_bandwidth_kbps,
+            max_players=supervisor.config.max_players,
+        )
+
+        def spawn_client(slot, rejoining):
+            if rejoining and caches[slot] is not None:
+                caches[slot].clear()
+            sim.spawn(client(slot))
+
+        supervisor.start(spawn_client, admission)
     sim.run_until(session.horizon_ms)
 
     cpu_model = CpuModel()
@@ -162,7 +222,9 @@ def run_multi_furion(
             cache_enabled=exact_cache,
             n_players=n_players,
         )
-        for p in range(n_players)
+        if session.collectors[p].records
+        else 0.0
+        for p in range(session.total_slots)
     ]
     name = "multi_furion_cache" if exact_cache else "multi_furion"
     return session.finish(name, cpu)

@@ -11,8 +11,10 @@ contention (Table 1's 52-64 ms at 2 players).
 from __future__ import annotations
 
 from ..codec import FOUR_K_PIXELS
+from ..core.constraint import BandwidthBudget
 from ..core.preprocess import FrameSizeModel, calibrate_size_model
 from ..metrics import CpuModel, FrameRecord
+from ..session import ACTIVE, WARMING, AdmissionController
 from ..render import GTX1080TI, RenderCostModel
 from ..world.games import GameWorld
 from .base import (
@@ -39,6 +41,7 @@ def run_thin_client(
     """Simulate N players on the remote-rendering baseline."""
     session = Session(world, n_players, config)
     sim = session.sim
+    supervisor = session.supervisor
     server_model = RenderCostModel(GTX1080TI)
     if size_model is None:
         size_model = calibrate_size_model(
@@ -49,9 +52,40 @@ def run_thin_client(
 
     tracer = session.tracer
 
+    def warmup(player_id: int):
+        """Late-joiner handshake: stream the first rendered frame.
+
+        The thin client has no local state to warm, but the server must
+        deliver one full frame through the shared link before the
+        stream is considered established.
+        """
+        started_ms = sim.now
+        if not supervisor.poll(player_id):
+            return
+        sample = session.position_at(player_id, sim.now)
+        grid_point = session.world.grid.snap(sample.position)
+        frame_bytes = size_model.sample(grid_point)
+        stall_ms = session.server_stall_ms(sim.now)
+        if stall_ms > 0:
+            yield stall_ms
+        yield session.link.transfer(frame_bytes, tag="be")
+        if not supervisor.poll(player_id):
+            return
+        if supervisor.activate(player_id) and tracer.enabled:
+            tracer.complete(
+                "warmup", player_id, "net", started_ms, sim.now - started_ms,
+                cat="membership", args={"bytes": frame_bytes},
+            )
+
     def client(player_id: int):
         frame_index = 0
+        if supervisor is not None and supervisor.state(player_id) == WARMING:
+            yield from warmup(player_id)
+            if supervisor.state(player_id) != ACTIVE:
+                return
         while sim.now < session.horizon_ms:
+            if supervisor is not None and not supervisor.poll(player_id):
+                return  # left, crashed, or evicted: no silent rejoin
             resume = session.outage_resume_ms(player_id, sim.now)
             if resume is not None and resume > sim.now:
                 outage_start = sim.now
@@ -96,6 +130,8 @@ def run_thin_client(
                     frame_bytes=frame_bytes,
                 )
             )
+            if supervisor is not None:
+                supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:
                 session.trace_sequential_frame(
                     player_id, frame_index, t0,
@@ -112,8 +148,24 @@ def run_thin_client(
             # Minimum 1-tick yield (busy-spin hazard; see run_coterie).
             yield remaining if remaining > 0 else MIN_YIELD_MS
 
-    for player_id in range(n_players):
-        sim.spawn(client(player_id))
+    if supervisor is None:
+        for player_id in range(n_players):
+            sim.spawn(client(player_id))
+    else:
+        # Streamed whole frames every display interval: same Constraint-2
+        # arithmetic as Multi-Furion.
+        whole_kbps = 60.0 * size_model.mean_bytes * 8.0 / 1000.0
+        admission = AdmissionController(
+            budget=BandwidthBudget(
+                capacity_mbps=config.wifi_mbps,
+                utilization_bound=supervisor.config.utilization_bound,
+            ),
+            be_kbps_for=lambda slot: whole_kbps,
+            fi_kbps_for=session.pun.expected_bandwidth_kbps,
+            max_players=supervisor.config.max_players,
+        )
+        supervisor.start(lambda slot, rejoining: sim.spawn(client(slot)),
+                         admission)
     sim.run_until(session.horizon_ms)
 
     cpu_model = CpuModel()
@@ -125,6 +177,8 @@ def run_thin_client(
             decoding=True,
             n_players=n_players,
         )
-        for p in range(n_players)
+        if session.collectors[p].records
+        else 0.0
+        for p in range(session.total_slots)
     ]
     return session.finish("thin_client", cpu)

@@ -1,6 +1,8 @@
 """Tests for the fault-schedule framework and its injector."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults import (
     ClientOutage,
@@ -123,3 +125,68 @@ class TestInjector:
         assert injector.outage_count(0) == 2
         assert injector.outage_count(1) == 2
         assert injector.outage_count(5) == 1
+
+
+class TestOutageResumeProperties:
+    """Property tests: the chase loop terminates and finds the true
+    latest reachable outage end, under adversarial window layouts."""
+
+    outage_lists = st.lists(
+        st.tuples(
+            st.integers(0, 50),            # start_ms
+            st.integers(1, 30),            # duration_ms
+            st.sampled_from([-1, 0, 1, 2]),  # player_id (-1 = wildcard)
+        ).map(lambda t: ClientOutage(float(t[0]), float(t[0] + t[1]),
+                                     player_id=t[2])),
+        max_size=12,
+    )
+
+    @staticmethod
+    def reference_resume(outages, player_id, now_ms):
+        """Interval-reachability oracle: breadth-first over window ends.
+
+        A time t is "offline-reachable" if some window covers it; from a
+        reachable window its end is reachable.  The answer is the max
+        end reachable from now_ms, or None when no window covers now_ms.
+        """
+        reachable = set()
+        frontier = [now_ms]
+        while frontier:
+            t = frontier.pop()
+            for outage in outages:
+                if outage.covers(player_id, t) and outage.end_ms not in reachable:
+                    reachable.add(outage.end_ms)
+                    frontier.append(outage.end_ms)
+        return max(reachable) if reachable else None
+
+    @given(outages=outage_lists, player_id=st.sampled_from([0, 1, 3]),
+           now_ms=st.integers(0, 70).map(float))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reachability_oracle(self, outages, player_id, now_ms):
+        injector = FaultInjector(FaultSchedule(outages=tuple(outages)))
+        assert injector.outage_resume_ms(player_id, now_ms) == \
+               self.reference_resume(outages, player_id, now_ms)
+
+    @given(outages=outage_lists, now_ms=st.integers(0, 70).map(float))
+    @settings(max_examples=200, deadline=None)
+    def test_resume_is_a_fixed_point(self, outages, now_ms):
+        """At the resume instant the player is back online — no window
+        (wildcard or targeted) still covers it, else the loop lied."""
+        injector = FaultInjector(FaultSchedule(outages=tuple(outages)))
+        resume = injector.outage_resume_ms(0, now_ms)
+        if resume is not None:
+            assert resume > now_ms  # covers() is end-exclusive
+            assert not any(o.covers(0, resume) for o in outages)
+            assert injector.outage_resume_ms(0, resume) is None
+
+    def test_duplicate_and_nested_windows(self):
+        """Duplicates and fully nested windows must not loop forever."""
+        injector = FaultInjector(FaultSchedule(outages=(
+            ClientOutage(10.0, 100.0),
+            ClientOutage(10.0, 100.0),           # exact duplicate
+            ClientOutage(20.0, 80.0, player_id=0),  # nested
+            ClientOutage(90.0, 150.0, player_id=0),  # chained per-player
+            ClientOutage(100.0, 120.0),          # chained wildcard
+        )))
+        assert injector.outage_resume_ms(0, 15.0) == 150.0
+        assert injector.outage_resume_ms(1, 15.0) == 120.0

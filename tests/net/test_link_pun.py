@@ -207,6 +207,55 @@ class TestPunChannel:
         channel.tick()
         assert link.bytes_for("fi") == 2 * first
 
+    def test_tick_rate_has_no_cumulative_drift(self):
+        """Regression: jittery tick times must not starve the send rate.
+
+        The old tick snapped its clock to ``sim.now`` on every send, so
+        any jitter between the period boundary and the actual tick call
+        was lost — a 16.7 ms frame loop against a 50 ms send period
+        drifted to ~14 sends/s instead of 20.  The fixed clock advances
+        in whole period multiples, so over a long run the recorded FI
+        bytes match ``expected_bandwidth_kbps`` exactly.
+        """
+        sim = Simulator()
+        link = WifiLink(sim)
+        channel = PunChannel(sim, link, n_players=4)
+        horizon_ms = 60_000.0
+        # Deterministic jittery call pattern: mostly 16.7 ms apart with
+        # periodic long gaps, like a frame loop with slow frames mixed in.
+        t, i = 0.0, 0
+        while t < horizon_ms:
+            sim.run_until(t)
+            channel.tick()
+            t += 16.666 if i % 7 else 43.21
+            i += 1
+        recorded_kbps = link.bytes_for("fi") * 8 / horizon_ms
+        assert recorded_kbps == pytest.approx(
+            channel.expected_bandwidth_kbps(), rel=0.02
+        )
+
+    def test_add_remove_player_scales_traffic(self):
+        sim = Simulator()
+        link = WifiLink(sim)
+        channel = PunChannel(sim, link, n_players=2)
+        assert channel.expected_bandwidth_kbps() < channel.expected_bandwidth_kbps(3)
+        channel.add_player()
+        assert channel.n_players == 3
+        for _ in range(3):
+            channel.remove_player()
+        assert channel.n_players == 0
+        with pytest.raises(ValueError):
+            channel.remove_player()
+        assert channel.expected_bandwidth_kbps(0) == 0.0
+
+    def test_empty_room_tick_is_a_noop(self):
+        sim = Simulator()
+        link = WifiLink(sim)
+        channel = PunChannel(sim, link, n_players=1)
+        channel.remove_player()  # a fully departed room
+        channel.tick()
+        assert link.bytes_for("fi") == 0.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PunChannel(Simulator(), WifiLink(Simulator()), n_players=0)

@@ -31,7 +31,12 @@ PINNED_CONFIG = dict(duration_s=4.0, seed=1)
 PINNED_FPS = 60.0
 PINNED_INTER_MS = 16.666666666666664
 PINNED_BE_MBPS = 64.468926
-PINNED_FI_KBPS = 192.0
+# 204.8 == the closed-form PunChannel.expected_bandwidth_kbps for 4 players:
+# the send clock now advances in whole period multiples (no cumulative
+# drift), so the recorded FI rate matches the model exactly.  The old
+# drifting tick under-counted at 192.0.  record_datagram is accounting-only,
+# so frames/metrics/be_mbps are untouched by the fix.
+PINNED_FI_KBPS = 204.8
 PINNED_HIT_RATIO = 0.7297872340425532
 PINNED_FRAMES = [235, 235, 235, 235]
 

@@ -25,6 +25,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["preprocess", "tetris"])
 
+    @pytest.mark.parametrize("bad", ["0", "-3", "33", "two"])
+    def test_players_out_of_range_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "coterie", "viking", bad])
+        err = capsys.readouterr().err
+        assert "players must be" in err
+
+    def test_players_range_accepted(self):
+        args = build_parser().parse_args(["run", "coterie", "viking", "32"])
+        assert args.players == 32
+        args = build_parser().parse_args(["run", "coterie", "viking", "1"])
+        assert args.players == 1
+
 
 class TestCommands:
     def test_games_lists_all_nine(self, capsys):
@@ -64,6 +77,36 @@ class TestCommands:
         assert main(["run", "mobile", "pool", "1", "--duration", "2",
                      "--faults", "freeze@0-100"]) == 2
         assert "invalid --faults" in capsys.readouterr().err
+
+
+class TestChurnCommands:
+    def test_run_with_churn_prints_membership(self, capsys):
+        assert main(["run", "coterie", "pool", "2", "--duration", "3",
+                     "--churn", "join@800,leave@2000:0"]) == 0
+        out = capsys.readouterr().out
+        assert "membership" in out
+        assert "joins" in out
+        assert "epochs" in out
+        assert "0 violations" in out
+
+    def test_bad_churn_spec_is_an_error(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--churn", "bogus@100"]) == 2
+        assert "invalid --churn" in capsys.readouterr().err
+
+    def test_churn_on_mobile_is_an_error(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--churn", "join@100"]) == 2
+        assert "networked system" in capsys.readouterr().err
+
+    def test_players_above_max_players_is_an_error(self, capsys):
+        assert main(["run", "coterie", "pool", "4", "--duration", "2",
+                     "--max-players", "2"]) == 2
+        assert "exceeds --max-players" in capsys.readouterr().err
+
+    def test_clean_run_omits_membership(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2"]) == 0
+        assert "membership" not in capsys.readouterr().out
 
 
 class TestTelemetryCommands:
