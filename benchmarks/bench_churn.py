@@ -19,8 +19,8 @@ churn storm:
   zero invariant violations and reports join-latency / warm-up / eviction
   numbers.
 
-Results land in ``BENCH_churn.json`` (repo root and
-``benchmarks/results/``).  Run standalone with
+Results land in ``benchmarks/results/BENCH_churn.json``.  Run
+standalone with
 ``python benchmarks/bench_churn.py`` (add ``--smoke`` for the CI quick
 mode: shorter run, fewer repeats, relaxed overhead gate — the fidelity
 and invariant gates never relax).
@@ -29,14 +29,13 @@ and invariant gates never relax).
 from __future__ import annotations
 
 import dataclasses
-import json
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import RESULTS_DIR, fmt, report, run_cost
+from harness import fmt, report, run_cost, write_bench
 
 from repro.faults import ChurnSchedule
 from repro.systems import SessionConfig, prepare_artifacts, run_coterie
@@ -195,12 +194,7 @@ def _record(m, checks):
         "acceptance": checks,
         "cost": run_cost(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    for target in (
-        Path(__file__).resolve().parent.parent / "BENCH_churn.json",
-        RESULTS_DIR / "BENCH_churn.json",
-    ):
-        target.write_text(json.dumps(payload, indent=1))
+    write_bench("BENCH_churn.json", payload)
     lat = m["join_latency_ms"]
     report(
         "BENCH_churn_table",

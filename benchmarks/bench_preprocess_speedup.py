@@ -17,15 +17,16 @@ Three legs over the same demand stream (one racing drive, ``R`` replays):
   directory: no panorama is rendered at all.
 
 Wall clocks, speedups, and per-leg ``perf.report()`` profiles land in
-``BENCH_preprocess.json`` (repo root, plus ``benchmarks/results/``).
+``benchmarks/results/BENCH_preprocess.json``.
 
-Run standalone with ``python benchmarks/bench_preprocess_speedup.py`` or
+Run standalone with ``python benchmarks/bench_preprocess_speedup.py``
+(add ``--smoke`` for the CI quick mode: fewer demand points and replays,
+relaxed speedup gates — byte-identity across legs never relaxes) or
 under pytest-benchmark via ``pytest benchmarks/bench_preprocess_speedup.py``.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 import tempfile
 import time
@@ -33,7 +34,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import RESULTS_DIR, fmt, report, run_cost
+from harness import fmt, report, run_cost, write_bench
 
 from repro import perf
 from repro.codec import FrameCodec
@@ -49,23 +50,38 @@ from repro.world import load_game
 
 GAME = "racing"  # outdoor (Table 3's headline trio)
 SCALE = 0.15
-CONFIG = RenderConfig(width=64, height=32)
+# Scalar kernels on purpose: this benchmark isolates the *parallel driver
+# and disk cache* speedups, so the per-frame render cost must stay heavy
+# enough to dominate worker-pool startup (bench_kernels.py owns the
+# kernel-mode comparison).
+CONFIG = RenderConfig(width=64, height=32, kernels="scalar")
 REPLAYS = 4  # system variants sharing one demand stream (Table 5 runs 5+)
 DEMAND_POINTS = 72  # unique far-BE grid points in one drive
 WORKERS = 4
 SIZE_SAMPLES = 2
 SEED = 0
 
+# CI quick mode: a shorter drive and fewer replays keep the job under a
+# minute; the speedup gates relax accordingly (see GATES).
+SMOKE_REPLAYS = 2
+SMOKE_DEMAND_POINTS = 48
 
-def _demand_stream(world):
+# Acceptance gates per mode: (min parallel speedup, min warm speedup).
+# The smoke workload barely amortises worker-pool startup, so its parallel
+# gate only demands "not slower than serial" minus CI scheduling noise;
+# the full run keeps the real >=2x / >=5x bar.
+GATES = {False: (2.0, 5.0), True: (0.9, 2.0)}
+
+
+def _demand_stream(world, demand_points):
     """Grid points a drive along the racing track requests far BE for."""
     seen = []
-    for index in range(DEMAND_POINTS * 3):
-        arc = index * world.track.length() / (DEMAND_POINTS * 3)
+    for index in range(demand_points * 3):
+        arc = index * world.track.length() / (demand_points * 3)
         snapped = world.grid.snap(world.track.point_at(arc))
         if snapped not in seen:
             seen.append(snapped)
-        if len(seen) == DEMAND_POINTS:
+        if len(seen) == demand_points:
             break
     return seen
 
@@ -87,7 +103,7 @@ def _replay(world, codec, artifacts, demand):
     return store.renders, total_bytes
 
 
-def _leg(world, codec, demand, options):
+def _leg(world, codec, demand, options, replays):
     """One preprocessing-plus-replays leg; returns its timing record."""
     perf.reset()
     start = time.perf_counter()
@@ -102,7 +118,7 @@ def _leg(world, codec, demand, options):
     )
     renders = 0
     checksum = 0
-    for _ in range(REPLAYS):
+    for _ in range(replays):
         replay_renders, replay_bytes = _replay(world, codec, artifacts, demand)
         renders += replay_renders
         checksum += replay_bytes
@@ -119,11 +135,13 @@ def _leg(world, codec, demand, options):
     }
 
 
-def run_legs():
-    """Run all three legs and return (records, speedups)."""
+def run_legs(smoke: bool = False):
+    """Run all three legs and return (records, speedups, demand size)."""
     world = load_game(GAME, scale=SCALE)
     codec = FrameCodec()
-    demand = _demand_stream(world)
+    demand_points = SMOKE_DEMAND_POINTS if smoke else DEMAND_POINTS
+    replays = SMOKE_REPLAYS if smoke else REPLAYS
+    demand = _demand_stream(world, demand_points)
     with tempfile.TemporaryDirectory() as cache_root:
         cache_dir = str(Path(cache_root) / "panoramas")
         parallel_options = PreprocessOptions(
@@ -132,9 +150,9 @@ def run_legs():
             panorama_grid_points=demand,
         )
         legs = {
-            "serial": _leg(world, codec, demand, None),
-            "parallel": _leg(world, codec, demand, parallel_options),
-            "warm": _leg(world, codec, demand, parallel_options),
+            "serial": _leg(world, codec, demand, None, replays),
+            "parallel": _leg(world, codec, demand, parallel_options, replays),
+            "warm": _leg(world, codec, demand, parallel_options, replays),
         }
     serial_s = legs["serial"]["wall_s"]
     speedups = {
@@ -146,25 +164,22 @@ def run_legs():
     return legs, speedups, len(demand)
 
 
-def _record(legs, speedups, demand_size):
+def _record(legs, speedups, demand_size, smoke=False):
+    replays = SMOKE_REPLAYS if smoke else REPLAYS
     payload = {
         "benchmark": "preprocess_speedup",
         "game": GAME,
         "scale": SCALE,
         "render": [CONFIG.width, CONFIG.height],
-        "replays": REPLAYS,
+        "replays": replays,
         "workers": WORKERS,
         "demand_points": demand_size,
+        "smoke": smoke,
         "legs": legs,
         "speedup": speedups,
         "cost": run_cost(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    for target in (
-        Path(__file__).resolve().parent.parent / "BENCH_preprocess.json",
-        RESULTS_DIR / "BENCH_preprocess.json",
-    ):
-        target.write_text(json.dumps(payload, indent=1))
+    write_bench("BENCH_preprocess.json", payload)
     rows = [
         (
             name,
@@ -179,19 +194,22 @@ def _record(legs, speedups, demand_size):
         ("leg", "wall s", "panorama renders", "speedup"),
         rows,
         notes=f"{GAME} @ scale {SCALE}, {demand_size} demand points x "
-        f"{REPLAYS} replays, {WORKERS} workers",
+        f"{replays} replays, {WORKERS} workers",
     )
     return payload
 
 
-def main() -> int:
+def main(argv=None) -> int:
     """Standalone entry point: run, record, and verify the acceptance bar."""
-    legs, speedups, demand_size = run_legs()
-    _record(legs, speedups, demand_size)
+    smoke = "--smoke" in (sys.argv[1:] if argv is None else argv)
+    legs, speedups, demand_size = run_legs(smoke=smoke)
+    _record(legs, speedups, demand_size, smoke=smoke)
+    min_parallel, min_warm = GATES[smoke]
     print(f"\nparallel speedup: {speedups['parallel']}x  "
           f"warm-cache speedup: {speedups['warm']}x")
-    ok = speedups["parallel"] >= 2.0 and speedups["warm"] >= 5.0
-    print("acceptance:", "PASS" if ok else "FAIL (>=2x parallel, >=5x warm)")
+    ok = speedups["parallel"] >= min_parallel and speedups["warm"] >= min_warm
+    print("acceptance:", "PASS" if ok else
+          f"FAIL (>={min_parallel}x parallel, >={min_warm}x warm)")
     return 0 if ok else 1
 
 

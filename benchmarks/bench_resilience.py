@@ -15,20 +15,19 @@ Three legs, all on the racing game with shared offline artifacts:
 * **determinism** — the outage leg rerun bit-for-bit: same schedule + seed
   must reproduce identical FPS, traffic, and resilience counters.
 
-Results land in ``BENCH_resilience.json`` (repo root and
-``benchmarks/results/``).  Run standalone with
+Results land in ``benchmarks/results/BENCH_resilience.json``.  Run
+standalone with
 ``python benchmarks/bench_resilience.py`` or under pytest-benchmark.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import RESULTS_DIR, fmt, report, run_cost
+from harness import fmt, report, run_cost, write_bench
 
 from repro.faults import FaultSchedule
 from repro.net import ImpairmentConfig
@@ -160,12 +159,7 @@ def _record(cells, outage, checks):
         "acceptance": checks,
         "cost": run_cost(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    for target in (
-        Path(__file__).resolve().parent.parent / "BENCH_resilience.json",
-        RESULTS_DIR / "BENCH_resilience.json",
-    ):
-        target.write_text(json.dumps(payload, indent=1))
+    write_bench("BENCH_resilience.json", payload)
     rows = [
         (
             c["players"],

@@ -15,8 +15,8 @@ Coterie run:
   player, and every frame's budget attribution must sum to its display
   interval within 1%.
 
-Results land in ``BENCH_trace.json`` (repo root and
-``benchmarks/results/``).  Run standalone with
+Results land in ``benchmarks/results/BENCH_trace.json``.  Run
+standalone with
 ``python benchmarks/bench_trace_overhead.py`` (add ``--smoke`` for the
 CI quick mode: shorter run, fewer repeats, relaxed overhead gate — the
 fidelity gates never relax).
@@ -24,14 +24,13 @@ fidelity gates never relax).
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import RESULTS_DIR, fmt, report, run_cost
+from harness import fmt, report, run_cost, write_bench
 
 from repro.faults import FaultSchedule
 from repro.systems import SessionConfig, prepare_artifacts, run_coterie
@@ -178,12 +177,7 @@ def _record(m, checks):
         "acceptance": checks,
         "cost": run_cost(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    for target in (
-        Path(__file__).resolve().parent.parent / "BENCH_trace.json",
-        RESULTS_DIR / "BENCH_trace.json",
-    ):
-        target.write_text(json.dumps(payload, indent=1))
+    write_bench("BENCH_trace.json", payload)
     report(
         "BENCH_trace_table",
         ("mode", "untraced s", "traced s", "overhead", "records", "frames"),

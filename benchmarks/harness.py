@@ -9,7 +9,11 @@ evaluation.  The harness provides:
   ``benchmarks/results/`` for EXPERIMENTS.md;
 * ``once(benchmark, fn)`` — run an experiment exactly once under
   pytest-benchmark (these are minutes-long system simulations, not
-  microbenchmarks).
+  microbenchmarks);
+* ``write_bench(name, payload)`` — the single path for machine-readable
+  ``BENCH_*.json`` artifacts: everything lands in ``benchmarks/results/``
+  (never the repo root), which is the directory CI uploads and the
+  perf-regression gate reads.
 """
 
 from __future__ import annotations
@@ -125,6 +129,20 @@ PAPER = {
     "fig11_furion_4p_max": 30,
     "fig11_coterie_4p_min": 55,
 }
+
+
+def write_bench(name: str, payload: Dict) -> Path:
+    """Persist one machine-readable benchmark artifact.
+
+    ``name`` is the bare artifact name (e.g. ``BENCH_churn.json``); the
+    file is written under :data:`RESULTS_DIR` only — the repo root stays
+    clean, and both CI artifact uploads and ``check_regression.py`` agree
+    on this one location.  Returns the written path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / name
+    target.write_text(json.dumps(payload, indent=1, default=str))
+    return target
 
 
 def once(benchmark, fn: Callable, *args, **kwargs):

@@ -22,6 +22,7 @@ from typing import List, Optional
 from . import perf
 from .faults import ChurnSchedule, FaultSchedule
 from .net import ImpairmentConfig
+from .render import KERNEL_MODES
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .telemetry import (
     FrameBudgetReport,
@@ -92,7 +93,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            wifi_mbps=args.wifi_mbps,
                            impairment=impairment, faults=faults,
                            churn=churn, max_players=args.max_players,
-                           tracer=tracer)
+                           tracer=tracer, kernels=args.kernels)
     if args.perf:
         with perf.timed("run.simulate"):
             result = run_system(args.system, args.game, args.players, config)
@@ -117,6 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  CPU / GPU       : {100 * player.metrics.cpu_utilization:.0f} % "
           f"/ {100 * player.metrics.gpu_utilization:.0f} %")
     print(f"  power draw      : {player.power_w:.2f} W")
+    print(f"  kernels         : {_kernels_summary(config.render_config.kernels)}")
     if config.degraded_mode:
         metrics = [p.metrics for p in result.players]
         miss = sum(m.deadline_miss_rate for m in metrics) / len(metrics)
@@ -166,6 +168,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernels_summary(mode: str) -> str:
+    """One-line frame-pipeline kernel summary from the perf registry.
+
+    Reports the active kernel mode, the wall-clock spent in the raster
+    stage, and — when the dirty-block codec ran — the block reuse ratio.
+    """
+    raster_s = perf.stage_names().get("raster", 0.0)
+    parts = [f"raster {1000 * raster_s:.0f} ms"]
+    total = perf.counter("codec.blocks_total")
+    if total:
+        reused = perf.counter("codec.blocks_reused")
+        parts.append(f"block reuse {100 * reused / total:.0f} % of {total}")
+    return f"{mode} ({', '.join(parts)})"
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
         report = FrameBudgetReport.from_jsonl(args.events)
@@ -178,7 +195,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_preprocess(args: argparse.Namespace) -> int:
     world = load_game(args.game)
-    config = SessionConfig(seed=args.seed)
+    config = SessionConfig(seed=args.seed, kernels=args.kernels)
     artifacts = prepare_artifacts(
         world,
         config,
@@ -244,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Perfetto/chrome://tracing trace of the run")
     run.add_argument("--events", default=None, metavar="OUT.jsonl",
                      help="write the JSONL span log (input to `repro report`)")
+    run.add_argument("--kernels", choices=KERNEL_MODES, default=None,
+                     help="frame-pipeline kernel mode (default: the "
+                          "RenderConfig default, currently 'vector')")
     run.add_argument("--perf", action="store_true",
                      help="print the per-stage perf report afterwards")
     run.set_defaults(func=_cmd_run)
@@ -262,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process count for the parallel driver (1 = serial)")
     pre.add_argument("--cache-dir", default=None,
                      help="persistent panorama/artifact cache directory")
+    pre.add_argument("--kernels", choices=KERNEL_MODES, default=None,
+                     help="frame-pipeline kernel mode (default: the "
+                          "RenderConfig default, currently 'vector')")
     pre.add_argument("--perf", action="store_true",
                      help="print the per-stage perf report afterwards")
     pre.set_defaults(func=_cmd_preprocess)

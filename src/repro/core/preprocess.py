@@ -37,7 +37,7 @@ import multiprocessing
 import numpy as np
 
 from .. import perf
-from ..codec import EncodedFrame, FrameCodec
+from ..codec import DirtyBlockCodec, EncodedFrame, FrameCodec
 from ..geometry import GridPoint, Vec2
 from ..render.rasterizer import Layer, RenderConfig
 from ..render.splitter import eye_at, render_far_be, render_whole_be
@@ -123,6 +123,18 @@ class PanoramaStore:
         self.disk_cache = disk_cache
         self._memo: Dict[GridPoint, StoredFrame] = {}
         self.renders = 0
+        # Under "vector+reuse" kernels, encode through the dirty-block
+        # coder: panoramas rendered behind the same cutoff share their
+        # pose-invariant blocks (sky, clipped bands) and skip their
+        # DCT/quant work.  Output bytes are bit-identical either way.
+        self._encoder: Optional[DirtyBlockCodec] = None
+        if render_frames and config.reuse_enabled:
+            self._encoder = DirtyBlockCodec(codec)
+
+    @property
+    def reuse_dirty_map(self) -> Optional[np.ndarray]:
+        """Dirty-block map of the latest reuse encode (None without reuse)."""
+        return None if self._encoder is None else self._encoder.last_dirty
 
     def frame_for(self, grid_point: GridPoint) -> StoredFrame:
         """The stored frame for a grid point (memoized)."""
@@ -153,7 +165,12 @@ class PanoramaStore:
                     decoded = self.codec.decode(encoded)
             if encoded is None:
                 layer = self._render(viewpoint, cutoff)
-                encoded = self.codec.encode(layer.image)
+                if self._encoder is not None:
+                    encoded = self._encoder.encode(
+                        layer.image, key=(self.kind, cutoff)
+                    )
+                else:
+                    encoded = self.codec.encode(layer.image)
                 decoded = self.codec.decode(encoded)
                 self.renders += 1
                 perf.count("panorama.renders")
@@ -230,6 +247,7 @@ def calibrate_size_model(
             )
     with perf.timed("size_model"):
         rng = np.random.default_rng(seed)
+        encoder = DirtyBlockCodec(codec) if config.reuse_enabled else None
         sizes = []
         attempts = 0
         while len(sizes) < samples and attempts < samples * 20:
@@ -244,14 +262,18 @@ def calibrate_size_model(
             if not world.grid.is_reachable(world.grid.snap(point)):
                 continue
             eye = eye_at(world.scene, point, eye_height)
+            cutoff = None
             if kind == "whole":
                 layer = render_whole_be(world.scene, eye, config)
             else:
                 assert cutoff_map is not None
-                layer = render_far_be(
-                    world.scene, eye, config, cutoff_map.cutoff_for(point)
-                )
-            sizes.append(codec.encode(layer.image).wire_bytes())
+                cutoff = cutoff_map.cutoff_for(point)
+                layer = render_far_be(world.scene, eye, config, cutoff)
+            if encoder is not None:
+                encoded = encoder.encode(layer.image, key=(kind, cutoff))
+            else:
+                encoded = codec.encode(layer.image)
+            sizes.append(encoded.wire_bytes())
         if len(sizes) < 2:
             raise RuntimeError("could not sample enough reachable viewpoints")
     model = FrameSizeModel(
@@ -338,6 +360,9 @@ def _init_worker(
     _WORKER["world"] = load_game(game_name, scale)
     _WORKER["config"] = render_config
     _WORKER["codec"] = FrameCodec(crf)
+    _WORKER["encoder"] = (
+        DirtyBlockCodec(_WORKER["codec"]) if render_config.reuse_enabled else None
+    )
     _WORKER["seed"] = seed
     _WORKER["k_samples"] = k_samples
     _WORKER["eye_height"] = eye_height
@@ -372,6 +397,7 @@ def _render_panorama(task: Tuple[GridPoint, float]) -> Tuple[GridPoint, bool]:
     world: GameWorld = _WORKER["world"]  # type: ignore[assignment]
     config: RenderConfig = _WORKER["config"]  # type: ignore[assignment]
     codec: FrameCodec = _WORKER["codec"]  # type: ignore[assignment]
+    encoder = _WORKER.get("encoder")
     disk: PanoramaDiskCache = _WORKER["disk"]  # type: ignore[assignment]
     eye_height: float = _WORKER["eye_height"]  # type: ignore[assignment]
     viewpoint = world.grid.to_world(grid_point)
@@ -381,7 +407,10 @@ def _render_panorama(task: Tuple[GridPoint, float]) -> Tuple[GridPoint, bool]:
     with perf.timed("panorama"):
         eye = eye_at(world.scene, viewpoint, eye_height)
         layer = render_far_be(world.scene, eye, config, cutoff)
-        encoded = codec.encode(layer.image)
+        if encoder is not None:
+            encoded = encoder.encode(layer.image, key=("far", cutoff))
+        else:
+            encoded = codec.encode(layer.image)
         decoded = codec.decode(encoded)
     disk.store_frame(key, cutoff, "far", decoded, encoded)
     perf.count("panorama.renders")

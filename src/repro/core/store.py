@@ -299,7 +299,9 @@ def world_cache_key(
 
     ``render_config`` is flattened field-by-field so any rendering knob
     change invalidates the cache; game identity is by (name, scale) because
-    world construction is deterministic in them.
+    world construction is deterministic in them.  The ``kernels`` execution
+    mode is excluded: every kernel path produces bit-identical frames (the
+    test suite pins this), so scalar and vector runs share cache entries.
     """
     from dataclasses import asdict
 
@@ -310,6 +312,7 @@ def world_cache_key(
         "render_config": {
             key: (float(value) if isinstance(value, (int, float)) and not isinstance(value, bool) else value)
             for key, value in asdict(render_config).items()
+            if key != "kernels"
         },
         "crf": float(crf),
         "eye_height": float(eye_height),

@@ -20,15 +20,18 @@ import numpy as np
 _MASK32 = np.uint64(0xFFFFFFFF)
 
 
-def hash01(ix: np.ndarray, iy: np.ndarray, seed: int) -> np.ndarray:
+def hash01(ix: np.ndarray, iy: np.ndarray, seed) -> np.ndarray:
     """Deterministic pseudo-random values in [0, 1) from integer lattices.
 
     A multiply-xorshift mix of the two lattice coordinates and the seed.
-    Inputs are broadcast together; any integer dtype is accepted.
+    Inputs are broadcast together; any integer dtype is accepted.  ``seed``
+    may be a plain integer or a broadcastable integer array (the batched
+    rasterizer kernel hashes many objects, each with its own seed, in one
+    call) — both forms produce bit-identical values per element.
     """
     x = np.asarray(ix).astype(np.uint64)
     y = np.asarray(iy).astype(np.uint64)
-    s = np.uint64(seed & 0xFFFFFFFF)
+    s = (np.asarray(seed) & 0xFFFFFFFF).astype(np.uint64)
     h = (x * np.uint64(374761393) + y * np.uint64(668265263) + s * np.uint64(2246822519)) & _MASK32
     h = ((h ^ (h >> np.uint64(13))) * np.uint64(1274126177)) & _MASK32
     h = h ^ (h >> np.uint64(16))
@@ -61,11 +64,12 @@ def value_noise(x: np.ndarray, y: np.ndarray, seed: int) -> np.ndarray:
     return top + (bottom - top) * sy
 
 
-def cell_noise(x: np.ndarray, y: np.ndarray, seed: int) -> np.ndarray:
+def cell_noise(x: np.ndarray, y: np.ndarray, seed) -> np.ndarray:
     """Nearest-cell (blocky) noise: one hash per sample, in [0, 1).
 
     Four times cheaper than :func:`value_noise`; used for object surface
-    texture where per-cell detail is what matters, not smoothness.
+    texture where per-cell detail is what matters, not smoothness.  Like
+    :func:`hash01`, ``seed`` may be a scalar or a broadcastable array.
     """
     ix = np.floor(np.asarray(x, dtype=np.float64)).astype(np.int64)
     iy = np.floor(np.asarray(y, dtype=np.float64)).astype(np.int64)

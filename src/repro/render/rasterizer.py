@@ -34,6 +34,13 @@ from .framebuffer import cell_noise, clip_frame, fractal_noise, new_frame, value
 TWO_PI = 2.0 * math.pi
 _INFINITY = float("inf")
 
+#: Recognized frame-pipeline kernel modes.  ``scalar`` is the original
+#: per-object reference oracle; ``vector`` batches the per-pixel math into
+#: grouped numpy kernels (bit-identical output); ``vector+reuse`` adds
+#: dirty-block encode/SSIM reuse on top of the vector rasterizer (also
+#: bit-identical — reuse splices cached coefficients, never approximates).
+KERNEL_MODES = ("scalar", "vector", "vector+reuse")
+
 
 @dataclass(frozen=True)
 class RenderConfig:
@@ -50,6 +57,7 @@ class RenderConfig:
     fog_luminance: float = 0.74
     object_texture_freq: float = 3.0
     indoor: bool = False
+    kernels: str = "vector"  # frame-pipeline kernel mode (KERNEL_MODES)
 
     def __post_init__(self) -> None:
         if self.width < 8 or self.height < 4:
@@ -58,6 +66,15 @@ class RenderConfig:
             raise ValueError("view_limit and fog_distance must be positive")
         if self.min_angular_radius < 0:
             raise ValueError("min_angular_radius must be non-negative")
+        if self.kernels not in KERNEL_MODES:
+            raise ValueError(
+                f"kernels must be one of {KERNEL_MODES}, got {self.kernels!r}"
+            )
+
+    @property
+    def reuse_enabled(self) -> bool:
+        """Whether dirty-block encode/SSIM reuse layers are active."""
+        return self.kernels == "vector+reuse"
 
 
 @dataclass
@@ -186,21 +203,21 @@ def draw_objects(
     if not objects:
         return layer
     with perf.timed("raster"):
-        return _draw_objects(layer, objects, eye, config)
+        if config.kernels == "scalar":
+            return _draw_objects_scalar(layer, objects, eye, config)
+        return _draw_objects_vector(layer, objects, eye, config)
 
 
-def _draw_objects(
-    layer: Layer,
-    objects: Sequence[SceneObject],
-    eye: Vec3,
-    config: RenderConfig,
-) -> Layer:
-    az_cols, el_rows = _pixel_angles(config)
-    width, height = config.width, config.height
-    image, mask, depth = layer.image, layer.mask, layer.depth
-    min_ang = max(config.min_angular_radius, 0.55 * math.pi / height)
+def _cull_objects(
+    objects: Sequence[SceneObject], eye: Vec3, config: RenderConfig
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized visibility cull shared by both kernel paths.
 
-    # Vectorized visibility cull before the per-object draw loop.
+    Returns per-object distances, angular radii, and the indices of the
+    surviving objects in far-to-near draw order (stable sort, so depth
+    ties resolve identically in both kernels).
+    """
+    min_ang = max(config.min_angular_radius, 0.55 * math.pi / config.height)
     centers = np.array([obj.center.as_tuple() for obj in objects])
     radii = np.array([obj.radius for obj in objects])
     offsets = centers - np.array([eye.x, eye.y, eye.z])
@@ -211,6 +228,21 @@ def _draw_objects(
     keep = (dists > 1e-6) & (ang >= min_ang)
     order = np.argsort(-dists[keep])
     kept_indices = np.nonzero(keep)[0][order]
+    return dists, ang, kept_indices
+
+
+def _draw_objects_scalar(
+    layer: Layer,
+    objects: Sequence[SceneObject],
+    eye: Vec3,
+    config: RenderConfig,
+) -> Layer:
+    """Reference oracle: per-object scanline loop (pre-kernel code path)."""
+    az_cols, el_rows = _pixel_angles(config)
+    width, height = config.width, config.height
+    image, mask, depth = layer.image, layer.mask, layer.depth
+
+    dists, ang, kept_indices = _cull_objects(objects, eye, config)
 
     for index in kept_indices:
         obj = objects[index]
@@ -283,6 +315,170 @@ def _draw_objects(
             ]
             sub_depth[writable] = dist
             mask[row_lo : row_hi + 1, c0:c1][writable] = True
+
+    return layer
+
+
+def _pad_dim(n: int) -> int:
+    """Smallest power of two >= ``n`` (bucket padding size)."""
+    return 1 << (max(1, int(n)) - 1).bit_length()
+
+
+def _draw_objects_vector(
+    layer: Layer,
+    objects: Sequence[SceneObject],
+    eye: Vec3,
+    config: RenderConfig,
+) -> Layer:
+    """Grouped-kernel object draw, bit-identical to the scalar oracle.
+
+    The scalar loop spends ~40 us of numpy-call overhead per object on
+    bounding boxes that are typically a handful of pixels, so the frame
+    cost is dominated by interpreter dispatch, not arithmetic.  This path
+    restructures the same work into four phases:
+
+    1. **setup** — a cheap per-object Python loop computes the scalar
+       draw parameters (bbox, fog, texture frequency) with exactly the
+       same ``math.*`` calls as the oracle, emitting one *draw unit* per
+       (object, seam segment) in global far-to-near order;
+    2. **bucket** — units are grouped by power-of-two-padded bbox size so
+       each group forms one rectangular ``(n, rows, cols)`` batch;
+    3. **evaluate** — each bucket runs the per-pixel math (angular disk
+       test, cell-noise texture, shading, fog) as one vectorized kernel.
+       Elementwise float ops are per-element deterministic in numpy, so
+       batching cannot change any pixel value;
+    4. **scatter** — writes replay sequentially in the original draw
+       order with the same strict ``dist < depth`` test, preserving the
+       painter/tie semantics of the oracle exactly.
+
+    Padding lanes are masked out via per-unit validity masks; padded
+    row/column indices are clamped before the angle-table gather so they
+    stay in range (their values are computed but never written).
+    """
+    az_cols, el_rows = _pixel_angles(config)
+    width, height = config.width, config.height
+    image, mask, depth = layer.image, layer.mask, layer.depth
+
+    dists, ang, kept_indices = _cull_objects(objects, eye, config)
+
+    # Phase 1 — per-object scalar parameters (identical math to the oracle).
+    units = []  # (row_lo, row_hi, c0, c1, az0, el0, cos_el, ang_r, dist,
+    #              fog, freq, seed, luminance, contrast)
+    for index in kept_indices:
+        obj = objects[index]
+        dist = float(dists[index])
+        ang_r = min(float(ang[index]), math.pi / 2 - 1e-3)
+        az0, el0 = direction_to_angles(obj.center - eye)
+        rv = ang_r * height / math.pi
+        v0 = (0.5 - el0 / math.pi) * height
+        row_lo = max(0, int(math.floor(v0 - rv - 1)))
+        row_hi = min(height - 1, int(math.ceil(v0 + rv + 1)))
+        if row_lo > row_hi:
+            continue
+        cos_el = max(0.15, math.cos(el0))
+        ru = ang_r / cos_el * width / TWO_PI
+        u0 = az0 / TWO_PI * width
+        col_lo = int(math.floor(u0 - ru - 1))
+        col_hi = int(math.ceil(u0 + ru + 1))
+        if col_hi - col_lo + 1 >= width:
+            col_lo, col_hi = 0, width - 1
+        segments = []
+        if col_lo < 0:
+            segments.append((col_lo % width, width))
+            segments.append((0, col_hi + 1))
+        elif col_hi >= width:
+            segments.append((col_lo, width))
+            segments.append((0, col_hi - width + 1))
+        else:
+            segments.append((col_lo, col_hi + 1))
+        fog = 1.0 - math.exp(-dist / config.fog_distance)
+        if config.indoor:
+            fog *= 0.2
+        ang_r_px = ang_r * height / math.pi
+        freq = min(32.0, max(1.0, ang_r_px / 2.8)) * config.object_texture_freq / 3.0
+        for c0, c1 in segments:
+            if c0 >= c1:
+                continue
+            units.append(
+                (row_lo, row_hi, c0, c1, az0, el0, cos_el, ang_r, dist,
+                 fog, freq, obj.texture_seed, obj.luminance, obj.contrast)
+            )
+    if not units:
+        return layer
+    perf.count("raster.vector.units", len(units))
+
+    # Phase 2 — bucket by padded bbox size.
+    buckets: dict = {}
+    for pos, unit in enumerate(units):
+        key = (_pad_dim(unit[1] - unit[0] + 1), _pad_dim(unit[3] - unit[2]))
+        buckets.setdefault(key, []).append(pos)
+    perf.count("raster.vector.buckets", len(buckets))
+
+    # Phase 3 — one vectorized evaluation per bucket.
+    values = [None] * len(units)  # float32 (rows, cols) per unit
+    insides = [None] * len(units)  # bool (rows, cols) per unit
+    drawable = np.zeros(len(units), dtype=bool)
+    for (rows_pad, cols_pad), members in buckets.items():
+        sub = [units[p] for p in members]
+        row_lo_a = np.array([u[0] for u in sub])
+        n_rows = np.array([u[1] - u[0] + 1 for u in sub])
+        c0_a = np.array([u[2] for u in sub])
+        n_cols = np.array([u[3] - u[2] for u in sub])
+        az0_a = np.array([u[4] for u in sub])[:, None]
+        el0_a = np.array([u[5] for u in sub])[:, None]
+        cos_a = np.array([u[6] for u in sub])[:, None]
+        ang_r3 = np.array([u[7] for u in sub])[:, None, None]
+        fog3 = np.array([u[9] for u in sub])[:, None, None]
+        freq3 = np.array([u[10] for u in sub])[:, None, None]
+        seed3 = np.array([u[11] for u in sub], dtype=np.int64)[:, None, None]
+        lum3 = np.array([u[12] for u in sub])[:, None, None]
+        con3 = np.array([u[13] for u in sub])[:, None, None]
+
+        # Gathered pixel angles; padded lanes clamp into range and are
+        # masked out of `inside` below.
+        row_idx = np.minimum(row_lo_a[:, None] + np.arange(rows_pad), height - 1)
+        col_idx = np.minimum(c0_a[:, None] + np.arange(cols_pad), width - 1)
+        d_el = (el_rows[row_idx] - el0_a)[:, :, None]  # (n, R, 1)
+        daz = (az_cols[col_idx] - az0_a + math.pi) % TWO_PI - math.pi
+        daz = (daz * cos_a)[:, None, :]  # (n, 1, C)
+
+        inside = daz * daz + d_el * d_el <= ang_r3 * ang_r3
+        valid = (np.arange(rows_pad)[None, :] < n_rows[:, None])[:, :, None]
+        valid = valid & (np.arange(cols_pad)[None, :] < n_cols[:, None])[:, None, :]
+        inside &= valid
+
+        tex = cell_noise(
+            daz / ang_r3 * freq3 + 11.3,
+            d_el / ang_r3 * freq3 + 7.7,
+            seed3,
+        )
+        shade = 1.0 + 0.22 * (d_el / ang_r3)  # lit from above
+        lum = lum3 * (1.0 - con3 * (tex - 0.5)) * shade
+        value = lum * (1.0 - fog3) + config.fog_luminance * fog3
+        np.clip(value, 0.0, 1.0, out=value)
+        value32 = value.astype(np.float32)
+
+        any_inside = inside.reshape(len(sub), -1).any(axis=1)
+        for slot, pos in enumerate(members):
+            u = units[pos]
+            r, c = u[1] - u[0] + 1, u[3] - u[2]
+            values[pos] = value32[slot, :r, :c]
+            insides[pos] = inside[slot, :r, :c]
+            drawable[pos] = any_inside[slot]
+
+    # Phase 4 — sequential scatter in the exact global draw order.
+    for pos, unit in enumerate(units):
+        if not drawable[pos]:
+            continue
+        row_lo, row_hi, c0, c1 = unit[:4]
+        dist = unit[8]
+        sub_depth = depth[row_lo : row_hi + 1, c0:c1]
+        writable = insides[pos] & (dist < sub_depth)
+        if not writable.any():
+            continue
+        image[row_lo : row_hi + 1, c0:c1][writable] = values[pos][writable]
+        sub_depth[writable] = dist
+        mask[row_lo : row_hi + 1, c0:c1][writable] = True
 
     return layer
 

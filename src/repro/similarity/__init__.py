@@ -8,18 +8,22 @@ from .metrics import (
 )
 from .ssim import (
     SSIM_GOOD,
+    CandidateMoments,
     SsimReference,
     is_similar,
     prepare_reference,
     ssim,
     ssim_many,
     ssim_map,
+    ssim_map_update,
     ssim_map_with,
     ssim_with,
+    ssim_with_update,
 )
 
 __all__ = [
     "SSIM_GOOD",
+    "CandidateMoments",
     "SsimReference",
     "adjacent_similarities",
     "best_case_similarities",
@@ -30,6 +34,8 @@ __all__ = [
     "ssim",
     "ssim_many",
     "ssim_map",
+    "ssim_map_update",
     "ssim_map_with",
     "ssim_with",
+    "ssim_with_update",
 ]

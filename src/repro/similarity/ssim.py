@@ -38,6 +38,8 @@ _K2 = 0.03
 _SIGMA = 1.5
 # 11-tap support like the reference implementation: truncate at 5 sigma-units.
 _TRUNCATE = 5.0 / _SIGMA
+# scipy's gaussian kernel radius for (sigma, truncate): int(truncate*sigma+0.5).
+_RADIUS = int(_TRUNCATE * _SIGMA + 0.5)
 
 
 def _validate_frame(a: np.ndarray) -> None:
@@ -118,6 +120,130 @@ def ssim_map_with(ref: SsimReference, b: np.ndarray) -> np.ndarray:
 def ssim_with(ref: SsimReference, b: np.ndarray) -> float:
     """Mean SSIM of a candidate against a prepared reference."""
     return float(ssim_map_with(ref, b).mean())
+
+
+@dataclass(frozen=True)
+class CandidateMoments:
+    """Cached candidate-side gaussian moments for dirty-row SSIM reuse.
+
+    Holds the three blurred maps :func:`ssim_map_with` computes per
+    candidate — ``blur(y)``, ``blur(y*y)``, ``blur(x*y)`` — so the next
+    candidate in a probe sequence can refresh only the rows its dirty-block
+    map touches.  ``xy`` is tied to the reference the moments were built
+    against; reuse across references would be wrong, so callers keep one
+    cache per :class:`SsimReference`.
+    """
+
+    image: np.ndarray  # float64 copy of the candidate
+    mu: np.ndarray  # blur(y)
+    yy: np.ndarray  # blur(y * y)
+    xy: np.ndarray  # blur(ref.image * y)
+
+
+def _dirty_output_bands(dirty_rows: np.ndarray):
+    """Merged ``[lo, hi)`` bands of blur outputs affected by dirty rows.
+
+    A blurred pixel depends on input rows within :data:`_RADIUS`, so each
+    dirty input row invalidates a ``2 * _RADIUS + 1`` output band; adjacent
+    bands merge.
+    """
+    h = dirty_rows.size
+    kernel = np.ones(2 * _RADIUS + 1, dtype=np.int32)
+    dilated = np.convolve(dirty_rows.astype(np.int32), kernel)[_RADIUS : _RADIUS + h] > 0
+    edges = np.flatnonzero(
+        np.diff(np.concatenate(([0], dilated.astype(np.int8), [0])))
+    )
+    return list(zip(edges[::2].tolist(), edges[1::2].tolist()))
+
+
+def ssim_map_update(
+    ref: SsimReference,
+    b: np.ndarray,
+    prev: "CandidateMoments | None" = None,
+    dirty_rows: "np.ndarray | None" = None,
+):
+    """SSIM map plus reusable moments, refreshing only dirty rows.
+
+    Drop-in equivalent of :func:`ssim_map_with` for one-vs-many probe
+    sequences whose candidates change incrementally (the dist-thresh
+    binary search: sky rows are identical between displaced far-BE
+    renders).  ``dirty_rows`` is a per-pixel-row bool mask derived from
+    the codec's dirty-block map
+    (:func:`repro.codec.dirty.dirty_row_mask`): rows marked clean must be
+    bit-identical between ``prev.image`` and ``b``.  Gaussian moments are
+    recomputed only inside the dirty bands (padded by the blur radius so
+    every refreshed output sees exactly the taps a full-frame filter
+    would), and spliced into ``prev``'s maps — the returned map is
+    bit-identical to :func:`ssim_map_with`.
+
+    Returns ``(ssim_map, moments)``; pass ``moments`` back as ``prev`` for
+    the next candidate.  With ``prev=None`` or ``dirty_rows=None`` the
+    full computation runs (and still returns cacheable moments).
+    Row-level reuse is counted in :mod:`repro.perf` as
+    ``ssim.rows_total`` / ``ssim.rows_reused``.
+    """
+    _validate_frame(b)
+    if b.shape != ref.shape:
+        raise ValueError(f"frame shapes differ: {ref.shape} vs {b.shape}")
+    with perf.timed("ssim"):
+        y = b.astype(np.float64)
+        h = y.shape[0]
+        dirty = None
+        if prev is not None and dirty_rows is not None and prev.image.shape == y.shape:
+            dirty = np.asarray(dirty_rows, dtype=bool)
+            if dirty.shape != (h,):
+                raise ValueError(
+                    f"dirty_rows must have shape ({h},), got {dirty.shape}"
+                )
+        perf.count("ssim.rows_total", h)
+        if dirty is None or dirty.all():
+            mu_y = _blur(y)
+            yy = _blur(y * y)
+            xy = _blur(ref.image * y)
+        else:
+            mu_y = prev.mu.copy()
+            yy = prev.yy.copy()
+            xy = prev.xy.copy()
+            refreshed = 0
+            for lo, hi in _dirty_output_bands(dirty):
+                # Inputs pad the output band by one more radius; where the
+                # pad clips at a frame edge, scipy's reflection there is
+                # the true full-frame boundary behaviour.
+                in_lo, in_hi = max(0, lo - _RADIUS), min(h, hi + _RADIUS)
+                ys = y[in_lo:in_hi]
+                xs = ref.image[in_lo:in_hi]
+                out = slice(lo - in_lo, hi - in_lo)
+                mu_y[lo:hi] = _blur(ys)[out]
+                yy[lo:hi] = _blur(ys * ys)[out]
+                xy[lo:hi] = _blur(xs * ys)[out]
+                refreshed += hi - lo
+            perf.count("ssim.rows_reused", h - refreshed)
+
+        mu_y_sq = mu_y * mu_y
+        mu_xy = ref.mu * mu_y
+        sigma_y_sq = yy - mu_y_sq
+        sigma_xy = xy - mu_xy
+        numerator = (2.0 * mu_xy + ref.c1) * (2.0 * sigma_xy + ref.c2)
+        denominator = (ref.mu_sq + mu_y_sq + ref.c1) * (
+            ref.sigma_sq + sigma_y_sq + ref.c2
+        )
+        moments = CandidateMoments(image=y, mu=mu_y, yy=yy, xy=xy)
+        return numerator / denominator, moments
+
+
+def ssim_with_update(
+    ref: SsimReference,
+    b: np.ndarray,
+    prev: "CandidateMoments | None" = None,
+    dirty_rows: "np.ndarray | None" = None,
+):
+    """Mean-SSIM variant of :func:`ssim_map_update`.
+
+    Returns ``(score, moments)``; the score is bit-identical to
+    :func:`ssim_with`.
+    """
+    ssim_map, moments = ssim_map_update(ref, b, prev=prev, dirty_rows=dirty_rows)
+    return float(ssim_map.mean()), moments
 
 
 def ssim_many(

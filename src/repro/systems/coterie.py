@@ -247,6 +247,8 @@ def run_coterie(
                 fetched += 1  # trajectory start revisits a cached point
                 continue
             stored = store.frame_for(decision.grid_point)
+            if tracer.enabled:
+                session.trace_kernel_reuse(store, player_id, sim.now)
             ok = yield from blocking_fetch(player_id, stored.wire_bytes)
             if ok:
                 admit_all(decision, stored, stored.wire_bytes, sim.now,
@@ -294,6 +296,8 @@ def run_coterie(
                 if not degraded:
                     # Clean path — identical to the pre-robustness code.
                     stored = store.frame_for(decision.grid_point)
+                    if tracer.enabled:
+                        session.trace_kernel_reuse(store, player_id, t0)
                     frame_bytes = stored.wire_bytes
                     transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
                     cached = admit_all(decision, stored, frame_bytes, t0, player_id)
@@ -308,6 +312,8 @@ def run_coterie(
                         perf.count("resilience.stale_frames")
                 else:
                     stored = store.frame_for(decision.grid_point)
+                    if tracer.enabled:
+                        session.trace_kernel_reuse(store, player_id, t0)
                     frame_bytes = stored.wire_bytes
                     stall_ms = session.server_stall_ms(t0)
                     if stall_ms > 0:

@@ -1,0 +1,191 @@
+"""Tests for dirty-block encode reuse (``repro.codec.dirty``).
+
+Pins the two invariants the kernel layer is built on: the dirty-block
+codec's bytes are identical to a from-scratch ``FrameCodec`` encode (so
+``vector+reuse`` never changes any artifact), and block digests
+invalidate *exactly* the perturbed blocks (so reuse never serves stale
+coefficients) — the latter as a hypothesis property over random frames.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.codec import (
+    BLOCK,
+    DirtyBlockCodec,
+    FrameCodec,
+    block_digests,
+    dirty_row_mask,
+    frame_block_digests,
+)
+from repro.geometry import Vec2
+from repro.render.rasterizer import RenderConfig
+from repro.render.splitter import eye_at, render_far_be
+from repro.world import load_game
+
+
+def _panorama_sequence(n=5):
+    """Far-BE frames along a short displacement (a dist-thresh probe walk)."""
+    world = load_game("racing", scale=0.15)
+    config = RenderConfig(width=64, height=32)
+    bounds = world.scene.bounds
+    frames = []
+    for step in range(n):
+        point = bounds.clamp(Vec2(
+            bounds.center.x + 0.35 * step, bounds.center.y
+        ))
+        eye = eye_at(world.scene, point, world.spec.player.eye_height)
+        frames.append(render_far_be(world.scene, eye, config, 12.0).image)
+    return frames
+
+
+class TestByteIdentity:
+    def test_sequence_matches_from_scratch_codec(self):
+        """Keyed reuse over a probe walk: every byte equals FrameCodec's."""
+        codec = FrameCodec()
+        dirty_codec = DirtyBlockCodec(codec)
+        for frame in _panorama_sequence():
+            reused = dirty_codec.encode(frame, key=("far", 12.0))
+            scratch = codec.encode(frame)
+            assert reused.data == scratch.data
+            assert (reused.width, reused.height, reused.crf) == (
+                scratch.width, scratch.height, scratch.crf
+            )
+
+    def test_some_blocks_actually_reused(self):
+        """The probe walk must exercise the splice path, not just dirty-all."""
+        perf.reset()
+        dirty_codec = DirtyBlockCodec(FrameCodec())
+        for frame in _panorama_sequence():
+            dirty_codec.encode(frame, key=("far", 12.0))
+        assert perf.counter("codec.ref_hits") > 0
+        assert perf.counter("codec.blocks_reused") > 0
+        total = perf.counter("codec.blocks_total")
+        assert total == perf.counter("codec.blocks_reused") + perf.counter(
+            "codec.blocks_recomputed"
+        )
+
+    def test_distinct_keys_have_distinct_references(self):
+        """Same frame under two keys: both start with a reference miss."""
+        perf.reset()
+        dirty_codec = DirtyBlockCodec(FrameCodec())
+        frame = _panorama_sequence(1)[0]
+        dirty_codec.encode(frame, key=("far", 8.0))
+        dirty_codec.encode(frame, key=("far", 16.0))
+        assert perf.counter("codec.ref_misses") == 2
+
+    def test_keyless_encode_is_passthrough(self):
+        codec = FrameCodec()
+        dirty_codec = DirtyBlockCodec(codec)
+        frame = np.linspace(0.0, 1.0, 16 * 24).reshape(16, 24)
+        assert dirty_codec.encode(frame).data == codec.encode(frame).data
+        assert dirty_codec.last_dirty is None
+
+    def test_decode_round_trip(self):
+        codec = FrameCodec()
+        dirty_codec = DirtyBlockCodec(codec)
+        frame = _panorama_sequence(1)[0]
+        encoded = dirty_codec.encode(frame, key="k")
+        assert np.array_equal(
+            dirty_codec.decode(encoded), codec.decode(codec.encode(frame))
+        )
+
+    def test_reference_lru_eviction(self):
+        """Cycling past max_references re-misses the evicted key."""
+        perf.reset()
+        dirty_codec = DirtyBlockCodec(FrameCodec(), max_references=2)
+        frame = np.zeros((8, 8)) + 0.25
+        for key in ("a", "b", "c", "a"):
+            dirty_codec.encode(frame, key=key)
+        assert perf.counter("codec.ref_misses") == 4  # 'a' was evicted
+
+    def test_rejects_bad_frames(self):
+        dirty_codec = DirtyBlockCodec(FrameCodec())
+        with pytest.raises(ValueError):
+            dirty_codec.encode(np.zeros((2, 2, 2)), key="k")
+        with pytest.raises(ValueError):
+            dirty_codec.encode(np.zeros((0, 8)), key="k")
+        with pytest.raises(ValueError):
+            DirtyBlockCodec(FrameCodec(), max_references=0)
+
+
+class TestDigests:
+    def test_digest_shape_and_determinism(self):
+        frame = np.random.default_rng(0).random((32, 48))
+        first = frame_block_digests(frame)
+        assert first.shape == (4, 6)
+        assert np.array_equal(first, frame_block_digests(frame.copy()))
+
+    def test_rejects_non_block_tensor(self):
+        with pytest.raises(ValueError):
+            block_digests(np.zeros((2, 2, 4, 4)))
+
+    def test_dirty_row_mask_expands_blocks(self):
+        dirty = np.zeros((3, 2), dtype=bool)
+        dirty[1, 0] = True
+        mask = dirty_row_mask(dirty, 20)
+        assert mask.shape == (20,)
+        assert not mask[:BLOCK].any()
+        assert mask[BLOCK:2 * BLOCK].all()
+        assert not mask[2 * BLOCK:].any()
+
+    @given(
+        height=st.integers(9, 40),
+        width=st.integers(9, 40),
+        seed=st.integers(0, 2**32 - 1),
+        n_perturb=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perturbations_invalidate_exactly_their_blocks(
+        self, height, width, seed, n_perturb
+    ):
+        """Random pixel edits dirty exactly the blocks containing them."""
+        rng = np.random.default_rng(seed)
+        frame = rng.random((height, width))
+        base = frame_block_digests(frame)
+        coords = {
+            (int(rng.integers(height)), int(rng.integers(width)))
+            for _ in range(n_perturb)
+        }
+        perturbed = frame.copy()
+        for row, col in coords:
+            # Shift by ~0.37 mod 1: always a different float, stays in [0,1).
+            perturbed[row, col] = (perturbed[row, col] + 0.37) % 1.0
+        changed = base != frame_block_digests(perturbed)
+        expected = {(row // BLOCK, col // BLOCK) for row, col in coords}
+        assert {
+            (int(i), int(j)) for i, j in zip(*np.nonzero(changed))
+        } == expected
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_perturb=st.integers(1, 5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_codec_recomputes_exactly_dirty_blocks(self, seed, n_perturb):
+        """The codec's dirty map and counters track perturbations exactly —
+        and the spliced bytes still match a from-scratch encode."""
+        rng = np.random.default_rng(seed)
+        frame = rng.random((24, 32))
+        codec = FrameCodec()
+        dirty_codec = DirtyBlockCodec(codec)
+        dirty_codec.encode(frame, key="k")
+        coords = {
+            (int(rng.integers(24)), int(rng.integers(32)))
+            for _ in range(n_perturb)
+        }
+        perturbed = frame.copy()
+        for row, col in coords:
+            perturbed[row, col] = (perturbed[row, col] + 0.37) % 1.0
+        perf.reset()
+        encoded = dirty_codec.encode(perturbed, key="k")
+        expected = {(row // BLOCK, col // BLOCK) for row, col in coords}
+        dirty = dirty_codec.last_dirty
+        assert {
+            (int(i), int(j)) for i, j in zip(*np.nonzero(dirty))
+        } == expected
+        assert perf.counter("codec.blocks_recomputed") == len(expected)
+        assert encoded.data == codec.encode(perturbed).data

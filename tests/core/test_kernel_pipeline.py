@@ -1,0 +1,198 @@
+"""End-to-end kernel-mode pinning across the preprocessing pipeline.
+
+The acceptance bar for the kernel layer is that ``vector`` and
+``vector+reuse`` are invisible everywhere except wall clock: panorama
+bytes out of :class:`PanoramaStore`, calibrated size models, and
+dist-thresh values must all be bit-identical to the ``scalar`` oracle.
+These tests pin that end to end, plus the config plumbing
+(``SessionConfig.kernels`` override, cache-key invariance).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import perf
+from repro.codec import FrameCodec
+from repro.core.dist_thresh import leaf_threshold
+from repro.core.preprocess import PanoramaStore, calibrate_size_model
+from repro.core.store import world_cache_key
+from repro.render import KERNEL_MODES
+from repro.render.rasterizer import RenderConfig
+from repro.systems.base import SessionConfig
+from repro.world import load_game
+
+SCALE = 0.15
+BASE_CONFIG = RenderConfig(width=64, height=32)
+
+
+def _mode_config(mode):
+    return dataclasses.replace(BASE_CONFIG, kernels=mode)
+
+
+def _world():
+    return load_game("racing", scale=SCALE)
+
+
+def _demand(world, count=8):
+    """A deterministic sweep of distinct grid points."""
+    points = []
+    index = 0
+    while len(points) < count:
+        index += 1
+        snapped = world.grid.snap(world.track.point_at(
+            index * world.track.length() / (count * 2)
+        ))
+        if snapped not in points:
+            points.append(snapped)
+    return points
+
+
+def _served_bytes(world, mode, cutoff_map):
+    """Encoded panorama bytes served for the demand set under one mode."""
+    store = PanoramaStore(
+        world,
+        _mode_config(mode),
+        FrameCodec(),
+        cutoff_map=cutoff_map,
+        kind="far",
+        eye_height=world.spec.player.eye_height,
+    )
+    return [store.frame_for(gp).encoded.data for gp in _demand(world)]
+
+
+@pytest.fixture(scope="module")
+def world_and_cutoffs():
+    """One world + cutoff map shared by the mode-comparison tests."""
+    from repro.core import build_cutoff_map, measure_fi_budget
+    from repro.render import RenderCostModel
+
+    world = _world()
+    cost_model = RenderCostModel(SessionConfig().device)
+    budget = measure_fi_budget(cost_model, world.spec.fi_triangles)
+    cutoff_map = build_cutoff_map(world.scene, cost_model, budget, seed=0)
+    return world, cutoff_map
+
+
+class TestStoreBitIdentity:
+    def test_panorama_bytes_identical_across_modes(self, world_and_cutoffs):
+        """The acceptance pin: scalar == vector == vector+reuse bytes."""
+        world, cutoff_map = world_and_cutoffs
+        served = {
+            mode: _served_bytes(world, mode, cutoff_map)
+            for mode in KERNEL_MODES
+        }
+        assert served["vector"] == served["scalar"]
+        assert served["vector+reuse"] == served["scalar"]
+
+    def test_reuse_store_exposes_dirty_map(self, world_and_cutoffs):
+        world, cutoff_map = world_and_cutoffs
+        store = PanoramaStore(
+            world,
+            _mode_config("vector+reuse"),
+            FrameCodec(),
+            cutoff_map=cutoff_map,
+            kind="far",
+            eye_height=world.spec.player.eye_height,
+        )
+        assert store.reuse_dirty_map is None  # nothing encoded yet
+        for grid_point in _demand(world, count=3):
+            store.frame_for(grid_point)
+        assert store.reuse_dirty_map is not None
+
+    def test_non_reuse_store_has_no_dirty_map(self, world_and_cutoffs):
+        world, cutoff_map = world_and_cutoffs
+        store = PanoramaStore(
+            world,
+            _mode_config("vector"),
+            FrameCodec(),
+            cutoff_map=cutoff_map,
+            kind="far",
+            eye_height=world.spec.player.eye_height,
+        )
+        store.frame_for(_demand(world, count=1)[0])
+        assert store.reuse_dirty_map is None
+
+
+class TestDerivedValues:
+    def test_size_model_identical_across_modes(self, world_and_cutoffs):
+        world, cutoff_map = world_and_cutoffs
+        models = [
+            calibrate_size_model(
+                world, _mode_config(mode), FrameCodec(), cutoff_map,
+                kind="far", samples=2, seed=0,
+            )
+            for mode in KERNEL_MODES
+        ]
+        assert len({(m.mean_bytes, m.std_bytes) for m in models}) == 1
+
+    def test_leaf_threshold_identical_across_modes(self, world_and_cutoffs):
+        world, cutoff_map = world_and_cutoffs
+        leaf = next(iter(cutoff_map.tree.leaves()))
+        from repro.core.cutoff import leaf_key
+
+        key = leaf_key(leaf.region)
+        cutoff = leaf.payload.cutoff_radius
+        values = {
+            mode: leaf_threshold(
+                world.scene, _mode_config(mode), key, cutoff, seed=0,
+                k_samples=1,
+            )
+            for mode in KERNEL_MODES
+        }
+        assert values["vector"] == values["scalar"]
+        assert values["vector+reuse"] == values["scalar"]
+
+    def test_reuse_mode_exercises_ssim_counters(self, world_and_cutoffs):
+        """The reuse path actually runs (counters move) during probing."""
+        world, cutoff_map = world_and_cutoffs
+        leaf = next(iter(cutoff_map.tree.leaves()))
+        from repro.core.cutoff import leaf_key
+
+        perf.reset()
+        leaf_threshold(
+            world.scene, _mode_config("vector+reuse"),
+            leaf_key(leaf.region), leaf.payload.cutoff_radius,
+            seed=0, k_samples=1,
+        )
+        assert perf.counter("ssim.rows_total") > 0
+
+
+class TestConfigPlumbing:
+    def test_session_config_overrides_render_config(self):
+        config = SessionConfig(kernels="scalar")
+        assert config.render_config.kernels == "scalar"
+
+    def test_session_config_default_keeps_render_config(self):
+        config = SessionConfig()
+        assert config.kernels is None
+        assert config.render_config.kernels == "vector"
+
+    def test_session_config_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            SessionConfig(kernels="gpu")
+
+    def test_render_config_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            RenderConfig(kernels="gpu")
+
+    def test_reuse_enabled_property(self):
+        assert _mode_config("vector+reuse").reuse_enabled
+        assert not _mode_config("vector").reuse_enabled
+        assert not _mode_config("scalar").reuse_enabled
+
+    def test_cache_key_ignores_kernel_mode(self):
+        """Bit-identical modes share disk-cache entries."""
+        keys = {
+            str(world_cache_key(
+                "racing", SCALE, 0, _mode_config(mode), 23.0, 1.7
+            ))
+            for mode in KERNEL_MODES
+        }
+        assert len(keys) == 1
+
+    def test_cache_key_still_sees_other_render_knobs(self):
+        changed = dataclasses.replace(BASE_CONFIG, width=128)
+        assert world_cache_key(
+            "racing", SCALE, 0, BASE_CONFIG, 23.0, 1.7
+        ) != world_cache_key("racing", SCALE, 0, changed, 23.0, 1.7)

@@ -1,0 +1,220 @@
+"""Tests for the CI perf-regression gate (``benchmarks/check_regression.py``).
+
+The ISSUE's acceptance bar requires the gate to *demonstrably* fail on a
+deliberate slowdown, so these tests build synthetic baseline/fresh
+artifact directories and drive ``main()`` end to end: identical runs
+pass, a 2x wall slowdown fails, ``--ratio-only`` ignores walls but still
+catches a speedup-ratio drop, and the tolerance boundary is exclusive.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from check_regression import (  # noqa: E402
+    Comparison,
+    compare_dirs,
+    compare_metric,
+    lookup,
+    main,
+)
+
+KERNELS_BASE = {
+    "benchmark": "kernels",
+    "speedup": {"vector": 3.0, "vector+reuse": 3.2},
+    "legs": {
+        "scalar": {"wall_s": 6.0},
+        "vector": {"wall_s": 2.0},
+        "vector+reuse": {"wall_s": 1.9},
+    },
+}
+
+TRACE_BASE = {
+    "benchmark": "trace_overhead",
+    "overhead": 0.02,
+    "untraced_s": 2.5,
+    "traced_s": 2.55,
+}
+
+
+def write_dirs(tmp_path, fresh_mutation=None):
+    """Baseline + fresh dirs holding the synthetic artifacts.
+
+    ``fresh_mutation(docs)`` may edit the fresh copies in place; the
+    baseline always holds the pristine documents.
+    """
+    baseline = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    baseline.mkdir()
+    fresh.mkdir()
+    docs = {
+        "BENCH_kernels.json": copy.deepcopy(KERNELS_BASE),
+        "BENCH_trace.json": copy.deepcopy(TRACE_BASE),
+    }
+    for name, doc in docs.items():
+        (baseline / name).write_text(json.dumps(doc))
+    if fresh_mutation is not None:
+        fresh_mutation(docs)
+    for name, doc in docs.items():
+        (fresh / name).write_text(json.dumps(doc))
+    return baseline, fresh
+
+
+def run_gate(baseline, fresh, *extra):
+    """Invoke the gate CLI; returns its exit code."""
+    return main([
+        "--baseline-dir", str(baseline), "--fresh-dir", str(fresh), *extra
+    ])
+
+
+class TestLookup:
+    def test_nested_path(self):
+        assert lookup(KERNELS_BASE, "legs.vector.wall_s") == 2.0
+
+    def test_key_with_plus(self):
+        assert lookup(KERNELS_BASE, "speedup.vector+reuse") == 3.2
+
+    def test_missing_returns_none(self):
+        assert lookup(KERNELS_BASE, "legs.gpu.wall_s") is None
+
+    def test_non_numeric_returns_none(self):
+        assert lookup({"benchmark": "kernels"}, "benchmark") is None
+
+
+class TestCompareMetric:
+    def test_identical_passes(self):
+        c = compare_metric("a", "m", "wall", 2.0, 2.0, 0.25, False)
+        assert not c.regressed and not c.skipped
+
+    def test_wall_slowdown_fails(self):
+        c = compare_metric("a", "m", "wall", 2.0, 4.0, 0.25, False)
+        assert c.regressed
+
+    def test_wall_boundary_is_exclusive(self):
+        # Exactly base * (1 + tol) is still within tolerance.
+        c = compare_metric("a", "m", "wall", 2.0, 2.5, 0.25, False)
+        assert not c.regressed
+        c = compare_metric("a", "m", "wall", 2.0, 2.5001, 0.25, False)
+        assert c.regressed
+
+    def test_ratio_only_skips_wall(self):
+        c = compare_metric("a", "m", "wall", 2.0, 20.0, 0.25, True)
+        assert c.skipped and not c.regressed
+
+    def test_ratio_high_drop_fails_even_ratio_only(self):
+        c = compare_metric("a", "m", "ratio_high", 3.0, 1.0, 0.25, True)
+        assert c.regressed
+
+    def test_ratio_high_improvement_passes(self):
+        c = compare_metric("a", "m", "ratio_high", 3.0, 5.0, 0.25, False)
+        assert not c.regressed
+
+    def test_abs_low_additive_band(self):
+        assert not compare_metric("a", "m", "abs_low", 0.02, 0.25, 0.25,
+                                  False).regressed
+        assert compare_metric("a", "m", "abs_low", 0.02, 0.30, 0.25,
+                              False).regressed
+
+    def test_vanished_metric_fails(self):
+        c = compare_metric("a", "m", "wall", 2.0, None, 0.25, False)
+        assert c.regressed
+
+    def test_absent_on_both_sides_skips(self):
+        c = compare_metric("a", "m", "wall", None, None, 0.25, False)
+        assert c.skipped and not c.regressed
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            compare_metric("a", "m", "median", 1.0, 1.0, 0.25, False)
+
+
+class TestGateEndToEnd:
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        baseline, fresh = write_dirs(tmp_path)
+        assert run_gate(baseline, fresh) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_deliberate_2x_slowdown_fails(self, tmp_path, capsys):
+        def slow(docs):
+            for leg in docs["BENCH_kernels.json"]["legs"].values():
+                leg["wall_s"] *= 2.0
+
+        baseline, fresh = write_dirs(tmp_path, slow)
+        assert run_gate(baseline, fresh) == 1
+        out = capsys.readouterr()
+        assert "FAIL" in out.out
+        assert "regression" in out.err
+
+    def test_ratio_only_ignores_wall_slowdown(self, tmp_path):
+        def slow_uniformly(docs):
+            # Every leg slower by 2x (a slower runner): ratios unchanged.
+            for leg in docs["BENCH_kernels.json"]["legs"].values():
+                leg["wall_s"] *= 2.0
+            docs["BENCH_trace.json"]["untraced_s"] *= 2.0
+            docs["BENCH_trace.json"]["traced_s"] *= 2.0
+
+        baseline, fresh = write_dirs(tmp_path, slow_uniformly)
+        assert run_gate(baseline, fresh) == 1
+        assert run_gate(baseline, fresh, "--ratio-only") == 0
+
+    def test_ratio_only_catches_speedup_drop(self, tmp_path):
+        def devectorize(docs):
+            docs["BENCH_kernels.json"]["speedup"]["vector+reuse"] = 1.0
+
+        baseline, fresh = write_dirs(tmp_path, devectorize)
+        assert run_gate(baseline, fresh, "--ratio-only") == 1
+
+    def test_tolerance_widens_the_band(self, tmp_path):
+        def slightly_slow(docs):
+            docs["BENCH_kernels.json"]["legs"]["scalar"]["wall_s"] *= 1.4
+
+        baseline, fresh = write_dirs(tmp_path, slightly_slow)
+        assert run_gate(baseline, fresh, "--tolerance", "0.25") == 1
+        assert run_gate(baseline, fresh, "--tolerance", "0.5") == 0
+
+    def test_missing_fresh_artifact_fails(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        (fresh / "BENCH_kernels.json").unlink()
+        assert run_gate(baseline, fresh) == 1
+
+    def test_unbaselined_artifact_is_skipped_by_default(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        (baseline / "BENCH_kernels.json").unlink()
+        (baseline / "BENCH_trace.json").unlink()
+        # No baselines at all -> nothing compared -> usage error, not pass.
+        assert run_gate(baseline, fresh) == 2
+
+    def test_explicit_artifact_without_baseline_fails(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        (baseline / "BENCH_kernels.json").unlink()
+        assert run_gate(baseline, fresh, "--artifacts",
+                        "BENCH_kernels.json") == 1
+
+    def test_unknown_artifact_name_is_usage_error(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        assert run_gate(baseline, fresh, "--artifacts",
+                        "BENCH_nonsense.json") == 2
+
+    def test_missing_baseline_dir_is_usage_error(self, tmp_path):
+        assert main(["--baseline-dir", str(tmp_path / "nope")]) == 2
+
+    def test_negative_tolerance_is_usage_error(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        assert run_gate(baseline, fresh, "--tolerance", "-1") == 2
+
+
+class TestCompareDirs:
+    def test_restricts_to_requested_artifacts(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        results = compare_dirs(baseline, fresh, 0.25, False,
+                               artifacts=["BENCH_trace.json"])
+        assert {c.artifact for c in results} == {"BENCH_trace.json"}
+
+    def test_comparison_line_formats(self):
+        line = Comparison("BENCH_x.json", "m", "wall", 1.0, 2.0, True).line()
+        assert "FAIL" in line and "1.000" in line and "2.000" in line
