@@ -47,6 +47,13 @@ SPECS = {
         ("legs.vector.wall_s", "wall"),
         ("legs.vector+reuse.wall_s", "wall"),
     ],
+    "BENCH_online.json": [
+        ("speedup.vector", "ratio_high"),
+        ("speedup.vector+reuse", "ratio_high"),
+        ("legs.scalar.wall_s", "wall"),
+        ("legs.vector.wall_s", "wall"),
+        ("legs.vector+reuse.wall_s", "wall"),
+    ],
     "BENCH_preprocess.json": [
         ("speedup.parallel", "ratio_high"),
         ("speedup.warm", "ratio_high"),
@@ -171,8 +178,16 @@ def compare_dirs(
                 Comparison(name, "<fresh file>", "-", None, None, True)
             )
             continue
-        base_doc = json.loads(base_path.read_text())
-        fresh_doc = json.loads(fresh_path.read_text())
+        try:
+            base_doc = json.loads(base_path.read_text())
+            fresh_doc = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError:
+            # One corrupt artifact must fail the gate without hiding the
+            # other artifacts' comparisons: emit a failing row, move on.
+            results.append(
+                Comparison(name, "<parse error>", "-", None, None, True)
+            )
+            continue
         for metric, kind in SPECS[name]:
             results.append(compare_metric(
                 name, metric, kind,

@@ -262,7 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--events", default=None, metavar="OUT.jsonl",
                      help="write the JSONL span log (input to `repro report`)")
     run.add_argument("--kernels", choices=KERNEL_MODES, default=None,
-                     help="frame-pipeline kernel mode (default: the "
+                     help="frame-pipeline kernel mode for both the offline "
+                          "pipeline and the online hot path (default: the "
                           "RenderConfig default, currently 'vector')")
     run.add_argument("--perf", action="store_true",
                      help="print the per-stage perf report afterwards")

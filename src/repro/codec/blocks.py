@@ -40,6 +40,54 @@ def split_blocks(frame: np.ndarray) -> np.ndarray:
     )
 
 
+def split_blocks_stack(frames: np.ndarray) -> np.ndarray:
+    """(N, H, W) frame stack -> (N, ny, nx, 8, 8) block tensor.
+
+    Per-frame results are bit-identical to :func:`split_blocks` (pure
+    index reshuffling).
+    """
+    if frames.ndim != 3:
+        raise ValueError("expected an (N, H, W) frame stack")
+    n, h, w = frames.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError(f"frames {h}x{w} not block-aligned; pad first")
+    return (
+        frames.reshape(n, h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+        .transpose(0, 1, 3, 2, 4)
+        .copy()
+    )
+
+
+def join_blocks_stack(
+    blocks: np.ndarray, shape: Tuple[int, int], out: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Inverse of :func:`split_blocks_stack`, cropping each frame to ``shape``.
+
+    ``out`` takes a preallocated ``(N, ny*8, nx*8)`` buffer (arena use);
+    the returned array is then a cropped view into it.  Per-frame results
+    are bit-identical to :func:`join_blocks`.
+    """
+    if blocks.ndim != 5 or blocks.shape[3:] != (BLOCK, BLOCK):
+        raise ValueError("expected an (N, ny, nx, 8, 8) block tensor")
+    n, ny, nx = blocks.shape[:3]
+    h, w = shape
+    if h > ny * BLOCK or w > nx * BLOCK:
+        raise ValueError(
+            f"target shape {shape} exceeds joined frame "
+            f"{(ny * BLOCK, nx * BLOCK)}"
+        )
+    if out is None:
+        out = np.empty((n, ny * BLOCK, nx * BLOCK), dtype=blocks.dtype)
+    elif out.shape != (n, ny * BLOCK, nx * BLOCK):
+        raise ValueError("out buffer shape mismatch")
+    # Writing through the block-shaped strided view of ``out`` joins the
+    # blocks without the intermediate copy a transpose+reshape would make.
+    np.copyto(
+        out.reshape(n, ny, BLOCK, nx, BLOCK).transpose(0, 1, 3, 2, 4), blocks
+    )
+    return out[:, :h, :w]
+
+
 def join_blocks(blocks: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
     """Inverse of :func:`split_blocks`, cropping to ``shape``."""
     if blocks.ndim != 4 or blocks.shape[2:] != (BLOCK, BLOCK):

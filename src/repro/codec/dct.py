@@ -34,9 +34,20 @@ def forward_dct(blocks: np.ndarray) -> np.ndarray:
     return np.einsum("ij,...jk,lk->...il", c, blocks.astype(np.float64), c)
 
 
-def inverse_dct(coeffs: np.ndarray) -> np.ndarray:
-    """Inverse DCT of every 8x8 coefficient block."""
+def inverse_dct(
+    coeffs: np.ndarray, out: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Inverse DCT of every 8x8 coefficient block.
+
+    Accepts any leading batch dimensions — the einsum contracts each
+    block independently, so stacked decodes are bit-identical to
+    per-frame ones.  ``out`` takes a preallocated float64 result buffer
+    (arena use).
+    """
     if coeffs.shape[-2:] != (BLOCK, BLOCK):
         raise ValueError("coeffs must be (..., 8, 8)")
     c = dct_matrix()
-    return np.einsum("ji,...jk,kl->...il", c, coeffs.astype(np.float64), c)
+    promoted = np.asarray(coeffs, dtype=np.float64)
+    if out is None:
+        return np.einsum("ji,...jk,kl->...il", c, promoted, c)
+    return np.einsum("ji,...jk,kl->...il", c, promoted, c, out=out)

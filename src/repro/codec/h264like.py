@@ -28,10 +28,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import perf
-from .blocks import BLOCK, join_blocks, pad_to_blocks, split_blocks
+from .blocks import (
+    BLOCK,
+    join_blocks,
+    join_blocks_stack,
+    pad_to_blocks,
+    split_blocks,
+)
 from .dct import forward_dct, inverse_dct
 from .entropy import decode_levels, encode_levels
-from .quant import DEFAULT_CRF, dequantize, quantize
+from .quant import DEFAULT_CRF, dequantize, quant_matrix, quantize
 
 # Chroma + container overhead on top of luma when scaling to wire size.
 _CHROMA_FACTOR = 1.35
@@ -149,6 +155,69 @@ class FrameCodec:
                     raise ValueError("reference shape mismatch")
                 out = pixels + np.asarray(reference, dtype=np.float64) * 255.0
             return np.clip(out / 255.0, 0.0, 1.0).astype(np.float32)
+
+    def decode_batch(self, encoded_frames, arena=None):
+        """Decode many I-frames in stacked numpy passes.
+
+        The online loop's cross-player decode: frames are grouped by
+        ``(height, width, crf)`` and each group's dequantize, inverse
+        DCT, block join, and scale/clip run once over an ``(N, ...)``
+        stack instead of once per frame.  Entropy decoding stays
+        per-frame (variable-length zlib streams cannot batch).  Results
+        are bit-identical to :meth:`decode` on each frame.
+
+        Scratch buffers come from ``arena`` (a
+        :class:`repro.perf.FrameArena`); the returned float32 frames own
+        their memory — they outlive the tick inside frame caches, so
+        they are never arena-backed.  P-frames are rejected: the batch
+        path serves the far-BE store, which is I-frame only.
+        """
+        encoded_frames = list(encoded_frames)
+        results: list = [None] * len(encoded_frames)
+        if not encoded_frames:
+            return results
+        groups: dict = {}
+        for index, encoded in enumerate(encoded_frames):
+            if not encoded.is_keyframe:
+                raise ValueError("decode_batch only handles I-frames")
+            key = (encoded.height, encoded.width, encoded.crf)
+            groups.setdefault(key, []).append(index)
+        if arena is not None:
+            def take(shape, dtype=np.float64):
+                return arena.take(shape, dtype)
+        else:
+            def take(shape, dtype=np.float64):
+                return np.empty(shape, dtype=dtype)
+        with perf.timed("decode"):
+            perf.count("decode.batched_frames", len(encoded_frames))
+            perf.count("decode.batches", len(groups))
+            for (height, width, crf), indices in groups.items():
+                pad_h = (-height) % BLOCK
+                pad_w = (-width) % BLOCK
+                ny = (height + pad_h) // BLOCK
+                nx = (width + pad_w) // BLOCK
+                n = len(indices)
+                levels = take((n, ny, nx, BLOCK, BLOCK), np.int32)
+                for row, index in enumerate(indices):
+                    levels[row] = decode_levels(
+                        encoded_frames[index].data, ny, nx
+                    )
+                # dequantize, stacked: int32 levels promote to float64
+                # exactly as levels.astype(float64) * q does per frame.
+                coeffs = take((n, ny, nx, BLOCK, BLOCK), np.float64)
+                np.multiply(levels, quant_matrix(crf), out=coeffs)
+                blocks = take((n, ny, nx, BLOCK, BLOCK), np.float64)
+                inverse_dct(coeffs, out=blocks)
+                joined = take((n, ny * BLOCK, nx * BLOCK), np.float64)
+                pixels = join_blocks_stack(blocks, (height, width), out=joined)
+                np.add(pixels, 128.0, out=pixels)
+                np.divide(pixels, 255.0, out=pixels)
+                np.clip(pixels, 0.0, 1.0, out=pixels)
+                stack = np.empty((n, height, width), dtype=np.float32)
+                np.copyto(stack, pixels)  # same rounding as astype(float32)
+                for row, index in enumerate(indices):
+                    results[index] = stack[row]
+        return results
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,8 @@ unit-scale anchor.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .blocks import BLOCK
@@ -39,9 +41,21 @@ def quant_scale(crf: float) -> float:
     return float(2.0 ** ((crf - DEFAULT_CRF) / 6.0))
 
 
+@lru_cache(maxsize=16)
+def _quant_matrix_cached(crf: float) -> np.ndarray:
+    matrix = np.maximum(1.0, BASE_QUANT * quant_scale(crf))
+    matrix.setflags(write=False)  # shared across calls; must stay frozen
+    return matrix
+
+
 def quant_matrix(crf: float = DEFAULT_CRF) -> np.ndarray:
-    """The scaled quantization matrix for a CRF, clamped to >= 1."""
-    return np.maximum(1.0, BASE_QUANT * quant_scale(crf))
+    """The scaled quantization matrix for a CRF, clamped to >= 1.
+
+    Hoisted out of the per-block-tensor path: every quantize/dequantize
+    used to rebuild the matrix; it is now computed once per CRF and
+    returned as a read-only shared array.
+    """
+    return _quant_matrix_cached(float(crf))
 
 
 def quantize(coeffs: np.ndarray, crf: float = DEFAULT_CRF) -> np.ndarray:

@@ -26,8 +26,24 @@ from .dist_thresh import (
     leaf_threshold,
     measure_dist_thresh,
 )
-from .merger import compose_display, layer_from_decoded, switch_discontinuities
-from .pipeline import PipelineTimings, frame_interval_ms
+from .merger import (
+    compose_display,
+    compose_display_into,
+    layer_from_decoded,
+    switch_discontinuities,
+)
+from .online import (
+    OnlineFrameLoop,
+    OnlineRunResult,
+    PlayerFrameInput,
+    SsimBatchQueue,
+)
+from .pipeline import (
+    PipelineTimings,
+    batched_frame_intervals_ms,
+    frame_interval_ms,
+    frame_intervals_ms,
+)
 from .prefetch import PrefetchDecision, Prefetcher
 from .preprocess import (
     FrameSizeModel,
@@ -55,22 +71,29 @@ __all__ = [
     "LeafCutoff",
     "LeafKey",
     "OfflineArtifacts",
+    "OnlineFrameLoop",
+    "OnlineRunResult",
     "PAPER_FI_BOUND_MS",
     "PanoramaDiskCache",
     "PanoramaStore",
     "PipelineTimings",
+    "PlayerFrameInput",
     "PrefetchDecision",
     "Prefetcher",
     "PreprocessOptions",
+    "SsimBatchQueue",
     "BandwidthBudget",
     "RenderBudget",
     "StoredFrame",
+    "batched_frame_intervals_ms",
     "build_cutoff_map",
     "calibrate_size_model",
     "compose_display",
+    "compose_display_into",
     "dist_thresh_payload",
     "exact_max_radius",
     "frame_interval_ms",
+    "frame_intervals_ms",
     "layer_from_decoded",
     "leaf_key",
     "leaf_threshold",

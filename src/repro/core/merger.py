@@ -42,6 +42,28 @@ def compose_display(
     return merge_layers(base, *overlays)
 
 
+def compose_display_into(
+    out: np.ndarray, far_be: np.ndarray, near_be: Layer, fi: Optional[Layer] = None
+) -> np.ndarray:
+    """:func:`compose_display` into a preallocated float32 buffer.
+
+    The batched online loop composes every player's display frame into
+    arena-backed buffers; results are bit-identical to
+    :func:`compose_display` (same copy-then-masked-overwrite sequence as
+    :func:`repro.render.merge_layers`).
+    """
+    if far_be.ndim != 2:
+        raise ValueError("decoded frame must be a 2D luminance array")
+    if out.shape != far_be.shape or out.dtype != np.float32:
+        raise ValueError("out must be a float32 buffer of the frame shape")
+    np.copyto(out, far_be)
+    for overlay in (near_be,) if fi is None else (near_be, fi):
+        if overlay.image.shape != out.shape:
+            raise ValueError("layer shapes differ")
+        out[overlay.mask] = overlay.image[overlay.mask]
+    return out
+
+
 def switch_discontinuities(
     far_be_sequence: Sequence[np.ndarray],
 ) -> List[float]:

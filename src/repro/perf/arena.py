@@ -1,0 +1,101 @@
+"""Preallocated buffer arena for the online frame loop.
+
+The batched online path (decode → cache lookup → SSIM → merge) runs the
+same stacked numpy passes every display tick.  Allocating the stacks
+fresh each tick would put the allocator — not the kernels — on the hot
+path, so the loop draws its scratch and tile buffers from a
+:class:`FrameArena`: buffers are pooled by ``(shape, dtype)``, handed
+out in order within an epoch, and recycled wholesale by
+:meth:`FrameArena.reset` at the end of each tick.  After the first few
+epochs warm the pools, the steady-state loop performs **zero** large
+per-frame allocations.
+
+Two rules keep this safe:
+
+* a buffer taken from the arena is valid only until the next
+  :meth:`~FrameArena.reset`; anything that outlives the tick (decoded
+  frames admitted into the :class:`~repro.core.cache.FrameCache`) must
+  own its memory instead;
+* buffers are returned *uncleared* — callers overwrite every element
+  (all users here write the full buffer before reading it).
+
+Pool behaviour is observable through the process-wide :mod:`repro.perf`
+counters ``arena.hits`` (a take served from the pool) and
+``arena.growths`` (a take that had to allocate), plus the instance's
+:attr:`~FrameArena.reuse_ratio` for per-run reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from . import REGISTRY
+
+
+class FrameArena:
+    """An epoch-scoped pool of reusable ndarrays keyed by shape and dtype."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[Tuple[tuple, str], List[np.ndarray]] = {}
+        self._cursors: Dict[Tuple[tuple, str], int] = {}
+        self.hits = 0
+        self.growths = 0
+        self.epochs = 0
+
+    def take(self, shape, dtype=np.float64) -> np.ndarray:
+        """A buffer of ``shape``/``dtype``, recycled from earlier epochs.
+
+        Contents are undefined; the caller must overwrite before reading.
+        The buffer belongs to the arena and is reissued after the next
+        :meth:`reset`.
+        """
+        key = (tuple(shape), np.dtype(dtype).str)
+        pool = self._pools.setdefault(key, [])
+        cursor = self._cursors.get(key, 0)
+        self._cursors[key] = cursor + 1
+        if cursor < len(pool):
+            self.hits += 1
+            REGISTRY.count("arena.hits")
+            return pool[cursor]
+        buffer = np.empty(key[0], dtype=dtype)
+        pool.append(buffer)
+        self.growths += 1
+        REGISTRY.count("arena.growths")
+        return buffer
+
+    def reset(self) -> None:
+        """End the epoch: every pooled buffer becomes reusable again."""
+        for key in self._cursors:
+            self._cursors[key] = 0
+        self.epochs += 1
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (counters are kept)."""
+        self._pools.clear()
+        self._cursors.clear()
+
+    @property
+    def takes(self) -> int:
+        return self.hits + self.growths
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of takes served without allocating."""
+        if not self.takes:
+            return 0.0
+        return self.hits / self.takes
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Total bytes held across all pools."""
+        return sum(
+            buffer.nbytes for pool in self._pools.values() for buffer in pool
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrameArena(pools={len(self._pools)}, takes={self.takes}, "
+            f"reuse={self.reuse_ratio:.2f}, bytes={self.pooled_bytes})"
+        )

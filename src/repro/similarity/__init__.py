@@ -14,9 +14,11 @@ from .ssim import (
     prepare_reference,
     ssim,
     ssim_many,
+    ssim_many_stacked,
     ssim_map,
     ssim_map_update,
     ssim_map_with,
+    ssim_pairs,
     ssim_with,
     ssim_with_update,
 )
@@ -33,9 +35,11 @@ __all__ = [
     "similarity_cdf",
     "ssim",
     "ssim_many",
+    "ssim_many_stacked",
     "ssim_map",
     "ssim_map_update",
     "ssim_map_with",
+    "ssim_pairs",
     "ssim_with",
     "ssim_with_update",
 ]

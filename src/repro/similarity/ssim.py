@@ -24,9 +24,10 @@ floats, just cached).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
-from scipy.ndimage import gaussian_filter
+from scipy.ndimage import correlate1d
 
 from .. import perf
 
@@ -40,6 +41,35 @@ _SIGMA = 1.5
 _TRUNCATE = 5.0 / _SIGMA
 # scipy's gaussian kernel radius for (sigma, truncate): int(truncate*sigma+0.5).
 _RADIUS = int(_TRUNCATE * _SIGMA + 0.5)
+
+
+def _gaussian_window() -> np.ndarray:
+    """The 1D correlation window ``gaussian_filter`` would build per call.
+
+    Same construction as scipy's ``_gaussian_kernel1d`` (normalised
+    gaussian over ``[-radius, radius]``) applied reversed, as
+    ``gaussian_filter1d`` passes it to ``correlate1d`` — so blurring with
+    this window is bit-identical to the ``gaussian_filter`` call it
+    replaces.
+    """
+    x = np.arange(-_RADIUS, _RADIUS + 1, dtype=np.float64)
+    phi = np.exp((-0.5 / (_SIGMA * _SIGMA)) * (x * x))
+    phi /= phi.sum()
+    window = phi[::-1].copy()
+    window.setflags(write=False)
+    return window
+
+
+# Hoisted out of the per-call path: every SSIM evaluation used to rebuild
+# this window (and the C1/C2 stabilisers) inside gaussian_filter; the
+# scalar oracle path now shares the same precomputed tables.
+_WINDOW = _gaussian_window()
+
+
+@lru_cache(maxsize=32)
+def _stab_constants(data_range: float):
+    """(C1, C2) stabilisers for a data range, computed once per range."""
+    return (_K1 * data_range) ** 2, (_K2 * data_range) ** 2
 
 
 def _validate_frame(a: np.ndarray) -> None:
@@ -56,8 +86,18 @@ def _validate_pair(a: np.ndarray, b: np.ndarray) -> None:
         raise ValueError(f"frame shapes differ: {a.shape} vs {b.shape}")
 
 
-def _blur(img: np.ndarray) -> np.ndarray:
-    return gaussian_filter(img, sigma=_SIGMA, truncate=_TRUNCATE)
+def _blur(img: np.ndarray, out=None, scratch=None) -> np.ndarray:
+    """Separable gaussian blur over the last two axes.
+
+    Bit-identical to ``gaussian_filter(img, sigma=_SIGMA,
+    truncate=_TRUNCATE)`` on a 2D frame, and — because the correlation
+    never mixes values across leading axes — to blurring each frame of an
+    ``(N, H, W)`` stack independently.  ``out``/``scratch`` take
+    preallocated float64 buffers of ``img``'s shape (arena-backed
+    zero-allocation use); they must not alias ``img``.
+    """
+    tmp = correlate1d(img, _WINDOW, axis=-2, mode="reflect", output=scratch)
+    return correlate1d(tmp, _WINDOW, axis=-1, mode="reflect", output=out)
 
 
 @dataclass(frozen=True)
@@ -86,14 +126,15 @@ def prepare_reference(a: np.ndarray, data_range: float = 1.0) -> SsimReference:
     mu_x = _blur(x)
     mu_x_sq = mu_x * mu_x
     sigma_x_sq = _blur(x * x) - mu_x_sq
+    c1, c2 = _stab_constants(data_range)
     return SsimReference(
         image=x,
         mu=mu_x,
         mu_sq=mu_x_sq,
         sigma_sq=sigma_x_sq,
         data_range=data_range,
-        c1=(_K1 * data_range) ** 2,
-        c2=(_K2 * data_range) ** 2,
+        c1=c1,
+        c2=c2,
     )
 
 
@@ -257,6 +298,149 @@ def ssim_many(
     """
     ref = prepare_reference(a, data_range)
     return np.array([ssim_with(ref, c) for c in candidates], dtype=np.float64)
+
+
+def _take_factory(arena):
+    """Buffer source: the arena when given, plain ``np.empty`` otherwise."""
+    if arena is None:
+        return lambda shape: np.empty(shape, dtype=np.float64)
+    return lambda shape: arena.take(shape, np.float64)
+
+
+def _stack_means(maps: np.ndarray) -> np.ndarray:
+    """Per-frame means of a contiguous (N, H, W) stack.
+
+    Bit-identical to ``maps[i].mean()`` per frame: the reduction runs
+    over the same contiguous H*W values in the same pairwise-summation
+    order.
+    """
+    return maps.reshape(maps.shape[0], -1).mean(axis=1)
+
+
+def ssim_many_stacked(
+    ref: SsimReference, candidates: np.ndarray, arena=None
+) -> np.ndarray:
+    """Mean SSIM of a stacked candidate tile against one prepared reference.
+
+    The multi-candidate batch kernel of the online loop: ``candidates``
+    is an ``(N, H, W)`` tile (float32 tiles welcome — frames are promoted
+    to float64 exactly as the scalar path promotes each frame), and the
+    3N candidate-side gaussian moments — blur(y), blur(y²), blur(x·y) —
+    are computed by a *single* pair of separable correlations over one
+    ``(3N, H, W)`` float64 stack.  Results are bit-identical to
+    ``[ssim_with(ref, c) for c in candidates]``.
+
+    ``arena`` (a :class:`repro.perf.FrameArena`) supplies the scratch
+    stacks so the steady-state loop performs no large allocations.
+    """
+    candidates = np.asarray(candidates)
+    if candidates.ndim != 3:
+        raise ValueError("candidates must be an (N, H, W) stack")
+    n = candidates.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    if candidates.shape[1:] != ref.shape:
+        raise ValueError(
+            f"frame shapes differ: {ref.shape} vs {candidates.shape[1:]}"
+        )
+    h, w = ref.shape
+    with perf.timed("ssim"):
+        perf.count("ssim.batched_candidates", n)
+        take = _take_factory(arena)
+        stack = take((3 * n, h, w))
+        blurred = take((3 * n, h, w))
+        scratch = take((3 * n, h, w))
+        y = stack[:n]
+        np.copyto(y, candidates)  # the float64 promotion of the scalar path
+        np.multiply(y, y, out=stack[n:2 * n])
+        np.multiply(ref.image, y, out=stack[2 * n:])
+        _blur(stack, out=blurred, scratch=scratch)
+        mu_y, yy, xy = blurred[:n], blurred[n:2 * n], blurred[2 * n:]
+        # The exact elementwise chain of ssim_map_with, written into the
+        # already-consumed input rows (out= does not change the values).
+        mu_y_sq = np.multiply(mu_y, mu_y, out=stack[:n])
+        mu_xy = np.multiply(ref.mu, mu_y, out=stack[n:2 * n])
+        sigma_y_sq = np.subtract(yy, mu_y_sq, out=yy)
+        sigma_xy = np.subtract(xy, mu_xy, out=xy)
+        t1 = np.multiply(2.0, mu_xy, out=scratch[:n])
+        np.add(t1, ref.c1, out=t1)
+        t2 = np.multiply(2.0, sigma_xy, out=scratch[n:2 * n])
+        np.add(t2, ref.c2, out=t2)
+        numerator = np.multiply(t1, t2, out=t1)
+        d1 = np.add(ref.mu_sq, mu_y_sq, out=scratch[2 * n:])
+        np.add(d1, ref.c1, out=d1)
+        d2 = np.add(ref.sigma_sq, sigma_y_sq, out=sigma_y_sq)
+        np.add(d2, ref.c2, out=d2)
+        denominator = np.multiply(d1, d2, out=d1)
+        maps = np.divide(numerator, denominator, out=numerator)
+        return _stack_means(maps)
+
+
+def ssim_pairs(pairs, data_range: float = 1.0, arena=None) -> np.ndarray:
+    """Mean SSIM of K independent (a, b) frame pairs in one tiled pass.
+
+    The cross-player batch kernel: all 5K gaussian moments — blur(x),
+    blur(y), blur(x²), blur(y²), blur(x·y) — stack into one
+    ``(5K, H, W)`` float64 tile blurred by a single pair of separable
+    correlations.  Every value is bit-identical to
+    ``[ssim(a, b) for a, b in pairs]``.  All pairs must share one frame
+    shape (callers batch homogeneous work: one session's displayed
+    frames at one render resolution).
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return np.empty(0, dtype=np.float64)
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+    shape = None
+    for a, b in pairs:
+        _validate_pair(a, b)
+        if shape is None:
+            shape = a.shape
+        elif a.shape != shape:
+            raise ValueError(
+                f"pairs must share one frame shape: {shape} vs {a.shape}"
+            )
+    k = len(pairs)
+    h, w = shape
+    c1, c2 = _stab_constants(data_range)
+    with perf.timed("ssim"):
+        perf.count("ssim.batched_pairs", k)
+        take = _take_factory(arena)
+        stack = take((5 * k, h, w))
+        blurred = take((5 * k, h, w))
+        scratch = take((5 * k, h, w))
+        xs, ys = stack[:k], stack[k:2 * k]
+        for i, (a, b) in enumerate(pairs):
+            np.copyto(xs[i], a)  # the float64 promotion of the scalar path
+            np.copyto(ys[i], b)
+        np.multiply(xs, xs, out=stack[2 * k:3 * k])
+        np.multiply(ys, ys, out=stack[3 * k:4 * k])
+        np.multiply(xs, ys, out=stack[4 * k:])
+        _blur(stack, out=blurred, scratch=scratch)
+        mu_x, mu_y = blurred[:k], blurred[k:2 * k]
+        bxx = blurred[2 * k:3 * k]
+        byy = blurred[3 * k:4 * k]
+        bxy = blurred[4 * k:]
+        # prepare_reference's chain, then ssim_map_with's, elementwise.
+        mu_x_sq = np.multiply(mu_x, mu_x, out=stack[:k])
+        mu_y_sq = np.multiply(mu_y, mu_y, out=stack[k:2 * k])
+        mu_xy = np.multiply(mu_x, mu_y, out=stack[2 * k:3 * k])
+        sigma_x_sq = np.subtract(bxx, mu_x_sq, out=bxx)
+        sigma_y_sq = np.subtract(byy, mu_y_sq, out=byy)
+        sigma_xy = np.subtract(bxy, mu_xy, out=bxy)
+        t1 = np.multiply(2.0, mu_xy, out=scratch[:k])
+        np.add(t1, c1, out=t1)
+        t2 = np.multiply(2.0, sigma_xy, out=scratch[k:2 * k])
+        np.add(t2, c2, out=t2)
+        numerator = np.multiply(t1, t2, out=t1)
+        d1 = np.add(mu_x_sq, mu_y_sq, out=mu_x_sq)
+        np.add(d1, c1, out=d1)
+        d2 = np.add(sigma_x_sq, sigma_y_sq, out=sigma_x_sq)
+        np.add(d2, c2, out=d2)
+        denominator = np.multiply(d1, d2, out=d1)
+        maps = np.divide(numerator, denominator, out=numerator)
+        return _stack_means(maps)
 
 
 def ssim_map(

@@ -35,14 +35,17 @@ path is untouched):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List
 
 from .. import perf
 from ..core.cache import FrameCache
 from ..core.constraint import BandwidthBudget, satisfies_constraint
+from ..core.online import SsimBatchQueue
 from ..core.pipeline import PipelineTimings, frame_interval_ms
 from ..core.prefetch import Prefetcher
 from ..core.preprocess import OfflineArtifacts, PanoramaStore
+from ..perf import FrameArena
 from ..metrics import CpuModel, FrameRecord
 from ..render.splitter import eye_at, reference_frame, render_fi, render_near_be
 from ..session import ACTIVE, WARMING, AdmissionController
@@ -118,10 +121,40 @@ def run_coterie(
     frame_counters = [0] * n_slots
     degraded = config.degraded_mode
     tracer = session.tracer
+    batched_kernels = config.render_config.kernels != "scalar"
+    if batched_kernels:
+        # Non-scalar kernel modes score cache candidates over the
+        # vectorized scan index — bit-identical lookup/nearest outcomes.
+        for cache in caches:
+            cache.vector_scan = True
+    ssim_queue = None
+    if config.render_frames and batched_kernels:
+        # SSIM scores feed only *metrics*, never simulated timing, so the
+        # batched kernels defer them: jobs queue during the simulation and
+        # compute in stacked :func:`repro.similarity.ssim_pairs` flushes.
+        # Submitted arrays (store payloads, freshly rendered/merged
+        # frames) are owned, so submit-triggered flushes are safe here.
+        ssim_queue = SsimBatchQueue(
+            arena=FrameArena() if config.render_config.reuse_enabled else None,
+            batch_target=64,
+        )
     if tracer.enabled:
         for player_id, cache in enumerate(caches):
             cache.tracer = tracer
             cache.owner = player_id
+        if ssim_queue is not None:
+            def _trace_ssim_flush(jobs: int) -> None:
+                args = {"jobs": jobs, "queued_total": ssim_queue.jobs_total}
+                if ssim_queue.arena is not None:
+                    args["arena_reuse"] = round(
+                        ssim_queue.arena.reuse_ratio, 4
+                    )
+                tracer.instant(
+                    "ssim.batch_flush", 0, "render", sim.now, cat="kernel",
+                    args=args,
+                )
+
+            ssim_queue.on_flush = _trace_ssim_flush
     # Per-player degradation state: an in-flight background fetch (at most
     # one — a second would just contend with the first), and a pending
     # cache re-warm after a reconnect.
@@ -391,6 +424,7 @@ def run_coterie(
             interval = frame_interval_ms(timings)
 
             displayed_ssim = None
+            ssim_job = None
             if config.render_frames:
                 payload = cached.payload if cached is not None else None
                 far_image = payload.decoded if payload is not None else None
@@ -398,14 +432,24 @@ def run_coterie(
                     if last_far[player_id] is not None and (
                         far_image is not last_far[player_id]
                     ):
-                        switch_ssims[player_id].append(
-                            ssim(last_far[player_id], far_image)
-                        )
+                        if ssim_queue is not None:
+                            ssim_queue.submit(
+                                last_far[player_id], far_image,
+                                switch_ssims[player_id].append,
+                            )
+                        else:
+                            switch_ssims[player_id].append(
+                                ssim(last_far[player_id], far_image)
+                            )
                     last_far[player_id] = far_image
                     if frame_counters[player_id] % ssim_stride == 0:
-                        displayed_ssim = _displayed_ssim(
+                        displayed, reference = _displayed_frame_pair(
                             session, world, player_id, sample, decision, far_image
                         )
+                        if ssim_queue is None:
+                            displayed_ssim = ssim(displayed, reference)
+                        else:
+                            ssim_job = (displayed, reference)
             frame_counters[player_id] += 1
 
             collector.add(
@@ -422,6 +466,20 @@ def run_coterie(
                     stale_age_ms=stale_age_ms,
                 )
             )
+            if ssim_job is not None:
+                # The record was added with displayed_ssim=None; the flush
+                # callback patches the score in by index (FrameRecord is
+                # frozen).  Scores never steer the simulation, so patching
+                # after the fact is observationally identical.
+                def _patch_ssim(
+                    value, records=collector.records,
+                    index=len(collector.records) - 1,
+                ):
+                    records[index] = replace(
+                        records[index], displayed_ssim=value
+                    )
+
+                ssim_queue.submit(ssim_job[0], ssim_job[1], _patch_ssim)
             if supervisor is not None:
                 supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:
@@ -444,8 +502,14 @@ def run_coterie(
             # simulated instant (busy-spin hazard).
             yield remaining if remaining > 0 else MIN_YIELD_MS
 
-    def _displayed_ssim(session, world, player_id, sample, decision, far_image):
-        """SSIM of the actually displayed frame vs. the all-local reference."""
+    def _displayed_frame_pair(session, world, player_id, sample, decision,
+                              far_image):
+        """The actually displayed frame and its all-local reference.
+
+        The caller scores ``ssim(displayed, reference)`` — inline on the
+        scalar path, deferred through the :class:`SsimBatchQueue` on the
+        batched path (bit-identical either way).
+        """
         eye = eye_at(world.scene, sample.position, world.spec.player.eye_height)
         roster = (
             list(range(n_players)) if supervisor is None
@@ -467,7 +531,7 @@ def run_coterie(
         reference = reference_frame(
             world.scene, eye, config.render_config, avatars=avatars
         )
-        return ssim(displayed, reference)
+        return displayed, reference
 
     if supervisor is None:
         for player_id in range(n_players):
@@ -523,6 +587,10 @@ def run_coterie(
 
         supervisor.start(spawn_client, admission)
     sim.run_until(session.horizon_ms)
+    if ssim_queue is not None:
+        # Score whatever is still queued before the session report reads
+        # switch SSIMs and displayed-SSIM records.
+        ssim_queue.flush()
 
     cpu_model = CpuModel()
     be_mbps = session.link.bandwidth_mbps("be", session.horizon_ms)

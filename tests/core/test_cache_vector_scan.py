@@ -1,0 +1,172 @@
+"""Bit-identity of the vectorized cache scan against the scalar loop.
+
+The batched online path flips ``FrameCache.vector_scan`` on; lookups and
+stale-fallback scans must then return *the same frame object* the scalar
+loop would — including tie-breaks, where several candidates sit at
+exactly the same distance and the winner is the first strict improvement
+in insertion order.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedFrame, FrameCache
+from repro.geometry import Vec2
+
+
+def make_frame(grid_point, position, leaf="leaf-a", near_ids=frozenset({1, 2}),
+               size_bytes=100, now_ms=0.0):
+    return CachedFrame(
+        grid_point=grid_point,
+        position=position,
+        leaf=leaf,
+        near_ids=near_ids,
+        payload=None,
+        size_bytes=size_bytes,
+        inserted_ms=now_ms,
+        last_used_ms=now_ms,
+    )
+
+
+def paired_caches(frames):
+    """One scalar and one vector cache holding identical entries."""
+    scalar = FrameCache(capacity_bytes=1 << 20)
+    vector = FrameCache(capacity_bytes=1 << 20)
+    vector.vector_scan = True
+    for frame in frames:
+        scalar.insert(frame)
+        vector.insert(
+            make_frame(frame.grid_point, frame.position, frame.leaf,
+                       frame.near_ids, frame.size_bytes)
+        )
+    return scalar, vector
+
+
+class TestTieBreaking:
+    def test_exact_tie_resolves_to_insertion_order(self):
+        """Two candidates at exactly equal distance: first inserted wins."""
+        frames = [
+            make_frame((0, 1), Vec2(0.0, 1.0)),
+            make_frame((0, -1), Vec2(0.0, -1.0)),  # same distance from origin
+            make_frame((2, 0), Vec2(2.0, 0.0)),
+        ]
+        scalar, vector = paired_caches(frames)
+        query = dict(
+            grid_point=(9, 9), position=Vec2(0.0, 0.0), leaf="leaf-a",
+            near_ids=frozenset({1, 2}), dist_thresh=5.0, now_ms=1.0,
+        )
+        a = scalar.lookup(**query)
+        b = vector.lookup(**query)
+        assert a is not None and b is not None
+        assert a.grid_point == b.grid_point == (0, 1)
+
+    def test_nearest_tie_matches_min(self):
+        frames = [
+            make_frame((1, 0), Vec2(1.0, 0.0)),
+            make_frame((-1, 0), Vec2(-1.0, 0.0)),
+        ]
+        scalar, vector = paired_caches(frames)
+        a = scalar.nearest(Vec2(0.0, 0.0))
+        b = vector.nearest(Vec2(0.0, 0.0))
+        assert a.grid_point == b.grid_point == (1, 0)
+
+    def test_threshold_boundary_exact(self):
+        """A candidate at exactly dist_thresh is a hit in both scans."""
+        frames = [make_frame((3, 4), Vec2(3.0, 4.0))]
+        scalar, vector = paired_caches(frames)
+        thresh = math.hypot(3.0, 4.0)  # exactly 5.0
+        for cache in (scalar, vector):
+            hit = cache.lookup(
+                grid_point=(9, 9), position=Vec2(0.0, 0.0), leaf="leaf-a",
+                near_ids=frozenset({1, 2}), dist_thresh=thresh, now_ms=1.0,
+            )
+            assert hit is not None and hit.grid_point == (3, 4)
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestRandomizedEquivalence:
+    def test_lookup_and_nearest_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        leaves = ["leaf-a", "leaf-b"]
+        near_sets = [frozenset({1}), frozenset({1, 2})]
+        frames = []
+        for index in range(40):
+            # snap to a coarse lattice so exact distance ties are common
+            x = float(rng.integers(-3, 4))
+            y = float(rng.integers(-3, 4))
+            frames.append(
+                make_frame(
+                    (index, 0), Vec2(x, y),
+                    leaf=leaves[int(rng.integers(2))],
+                    near_ids=near_sets[int(rng.integers(2))],
+                )
+            )
+        scalar, vector = paired_caches(frames)
+        for q in range(60):
+            position = Vec2(
+                float(rng.integers(-3, 4)), float(rng.integers(-3, 4))
+            )
+            query = dict(
+                grid_point=(99, q),  # never an exact grid hit
+                position=position,
+                leaf=leaves[q % 2],
+                near_ids=near_sets[q % 2],
+                dist_thresh=float(rng.uniform(0.0, 5.0)),
+                now_ms=float(q),
+            )
+            a = scalar.lookup(**query)
+            b = vector.lookup(**query)
+            if a is None:
+                assert b is None
+            else:
+                assert b is not None
+                assert a.grid_point == b.grid_point
+            na = scalar.nearest(position, now_ms=float(q))
+            nb = vector.nearest(position, now_ms=float(q))
+            assert na.grid_point == nb.grid_point
+        assert scalar.stats.hits == vector.stats.hits
+        assert scalar.stats.misses == vector.stats.misses
+
+    def test_equivalence_survives_mutation(self, seed):
+        """Inserts and evictions dirty the index; results stay identical."""
+        rng = np.random.default_rng(seed + 100)
+        scalar = FrameCache(capacity_bytes=1200)  # forces evictions
+        vector = FrameCache(capacity_bytes=1200)
+        vector.vector_scan = True
+        for index in range(30):
+            x, y = float(rng.integers(-2, 3)), float(rng.integers(-2, 3))
+            for cache in (scalar, vector):
+                cache.insert(make_frame((index, 1), Vec2(x, y), now_ms=index))
+            position = Vec2(float(rng.integers(-2, 3)),
+                            float(rng.integers(-2, 3)))
+            a = scalar.lookup(
+                grid_point=(99, index), position=position, leaf="leaf-a",
+                near_ids=frozenset({1, 2}), dist_thresh=2.5,
+                now_ms=float(index),
+            )
+            b = vector.lookup(
+                grid_point=(99, index), position=position, leaf="leaf-a",
+                near_ids=frozenset({1, 2}), dist_thresh=2.5,
+                now_ms=float(index),
+            )
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.grid_point == b.grid_point
+        assert len(scalar) == len(vector)
+        assert scalar.stats.evictions == vector.stats.evictions
+
+
+class TestUnknownKeys:
+    def test_unknown_leaf_or_near_set_misses(self):
+        scalar, vector = paired_caches([make_frame((0, 0), Vec2(0.0, 0.0))])
+        for cache in (scalar, vector):
+            assert cache.lookup(
+                grid_point=(9, 9), position=Vec2(0.0, 0.0), leaf="leaf-zz",
+                near_ids=frozenset({1, 2}), dist_thresh=10.0, now_ms=1.0,
+            ) is None
+            assert cache.lookup(
+                grid_point=(9, 9), position=Vec2(0.0, 0.0), leaf="leaf-a",
+                near_ids=frozenset({7}), dist_thresh=10.0, now_ms=1.0,
+            ) is None

@@ -1,0 +1,110 @@
+"""Tests for the FrameArena buffer pool (the online loop's scratch memory)."""
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.perf import FrameArena
+
+
+class TestTake:
+    def test_shape_and_dtype(self):
+        arena = FrameArena()
+        buf = arena.take((4, 8), np.float32)
+        assert buf.shape == (4, 8)
+        assert buf.dtype == np.float32
+
+    def test_default_dtype_is_float64(self):
+        assert FrameArena().take((2, 2)).dtype == np.float64
+
+    def test_distinct_buffers_within_epoch(self):
+        arena = FrameArena()
+        a = arena.take((4, 4))
+        b = arena.take((4, 4))
+        assert a is not b
+
+    def test_reuse_after_reset(self):
+        arena = FrameArena()
+        a = arena.take((4, 4))
+        arena.reset()
+        assert arena.take((4, 4)) is a
+
+    def test_pools_keyed_by_shape_and_dtype(self):
+        arena = FrameArena()
+        a = arena.take((4, 4), np.float64)
+        b = arena.take((4, 4), np.float32)
+        arena.reset()
+        assert arena.take((4, 4), np.float64) is a
+        assert arena.take((4, 4), np.float32) is b
+
+    def test_issue_order_stable_across_epochs(self):
+        arena = FrameArena()
+        first = [arena.take((2, 3)) for _ in range(3)]
+        arena.reset()
+        second = [arena.take((2, 3)) for _ in range(3)]
+        assert all(x is y for x, y in zip(first, second))
+
+
+class TestCounters:
+    def test_growths_then_hits(self):
+        arena = FrameArena()
+        arena.take((8, 8))
+        arena.take((8, 8))
+        assert (arena.hits, arena.growths) == (0, 2)
+        arena.reset()
+        arena.take((8, 8))
+        assert (arena.hits, arena.growths) == (1, 2)
+
+    def test_reuse_ratio(self):
+        arena = FrameArena()
+        assert arena.reuse_ratio == 0.0
+        arena.take((2, 2))
+        arena.reset()
+        arena.take((2, 2))
+        assert arena.reuse_ratio == pytest.approx(0.5)
+
+    def test_registry_counters(self):
+        perf.reset()
+        arena = FrameArena()
+        arena.take((2, 2))
+        arena.reset()
+        arena.take((2, 2))
+        assert perf.counter("arena.growths") == 1
+        assert perf.counter("arena.hits") == 1
+
+    def test_pooled_bytes(self):
+        arena = FrameArena()
+        arena.take((4, 4), np.float64)
+        arena.take((4, 4), np.float32)
+        assert arena.pooled_bytes == 4 * 4 * 8 + 4 * 4 * 4
+
+    def test_epochs_counted(self):
+        arena = FrameArena()
+        arena.reset()
+        arena.reset()
+        assert arena.epochs == 2
+
+
+class TestSteadyState:
+    def test_zero_allocations_once_warm(self):
+        """After one warm-up epoch, identical epochs never allocate."""
+        arena = FrameArena()
+        shapes = [((6, 16, 32), np.float32), ((30, 16, 32), np.float64)]
+        for shape, dtype in shapes:
+            arena.take(shape, dtype)
+        arena.reset()
+        before = arena.growths
+        for _ in range(5):
+            for shape, dtype in shapes:
+                arena.take(shape, dtype)
+            arena.reset()
+        assert arena.growths == before
+
+    def test_clear_drops_buffers_keeps_counters(self):
+        arena = FrameArena()
+        a = arena.take((4, 4))
+        arena.clear()
+        assert arena.pooled_bytes == 0
+        assert arena.growths == 1
+        arena.reset()
+        assert arena.take((4, 4)) is not a

@@ -218,3 +218,61 @@ class TestCompareDirs:
     def test_comparison_line_formats(self):
         line = Comparison("BENCH_x.json", "m", "wall", 1.0, 2.0, True).line()
         assert "FAIL" in line and "1.000" in line and "2.000" in line
+
+
+class TestAllFailuresReported:
+    def test_multiple_regressions_all_listed(self, tmp_path, capsys):
+        """Every failing metric shows up in one run, not just the first."""
+        def wreck(docs):
+            docs["BENCH_kernels.json"]["speedup"]["vector"] = 0.5
+            docs["BENCH_kernels.json"]["speedup"]["vector+reuse"] = 0.5
+            docs["BENCH_trace.json"]["overhead"] = 0.9
+
+        baseline, fresh = write_dirs(tmp_path, wreck)
+        assert run_gate(baseline, fresh) == 1
+        out = capsys.readouterr()
+        assert out.out.count("FAIL") == 3
+        assert "3 regression(s)" in out.err
+
+    def test_corrupt_artifact_fails_without_hiding_others(
+        self, tmp_path, capsys
+    ):
+        """A parse error is a failing row, not an abort: the other
+        artifact's regressions are still reported in the same run."""
+        def slow_trace(docs):
+            docs["BENCH_trace.json"]["overhead"] = 0.9
+
+        baseline, fresh = write_dirs(tmp_path, slow_trace)
+        (fresh / "BENCH_kernels.json").write_text("{not json")
+        assert run_gate(baseline, fresh) == 1
+        out = capsys.readouterr()
+        assert "<parse error>" in out.out
+        assert "overhead" in out.out
+        assert "2 regression(s)" in out.err
+
+
+class TestOnlineBenchSpec:
+    def test_online_speedup_drop_fails(self, tmp_path):
+        online = {
+            "benchmark": "online_pipeline",
+            "speedup": {"vector": 1.9, "vector+reuse": 2.2},
+            "legs": {
+                "scalar": {"wall_s": 0.28},
+                "vector": {"wall_s": 0.15},
+                "vector+reuse": {"wall_s": 0.13},
+            },
+        }
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        baseline.mkdir()
+        fresh.mkdir()
+        (baseline / "BENCH_online.json").write_text(json.dumps(online))
+        good = copy.deepcopy(online)
+        (fresh / "BENCH_online.json").write_text(json.dumps(good))
+        assert run_gate(baseline, fresh, "--ratio-only", "--artifacts",
+                        "BENCH_online.json") == 0
+        bad = copy.deepcopy(online)
+        bad["speedup"]["vector+reuse"] = 1.0
+        (fresh / "BENCH_online.json").write_text(json.dumps(bad))
+        assert run_gate(baseline, fresh, "--ratio-only", "--artifacts",
+                        "BENCH_online.json") == 1
