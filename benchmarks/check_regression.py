@@ -71,6 +71,14 @@ SPECS = {
         ("plain_s", "wall"),
         ("supervised_s", "wall"),
     ],
+    # Deadline-miss rates are fractions in [0, 1]; the additive abs_low
+    # band keeps adaptive Coterie from quietly sliding back toward the
+    # fixed-CRF miss rates under any committed trace.
+    "BENCH_adaptive.json": [
+        ("traces.cellular.adaptive.deadline_miss_rate", "abs_low"),
+        ("traces.bufferbloat.adaptive.deadline_miss_rate", "abs_low"),
+        ("traces.contention.adaptive.deadline_miss_rate", "abs_low"),
+    ],
 }
 
 

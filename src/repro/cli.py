@@ -19,9 +19,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+import dataclasses
+
 from . import perf
+from .adapt import AbrConfig
 from .faults import ChurnSchedule, FaultSchedule
-from .net import ImpairmentConfig
+from .net import TRACE_PROFILES, ImpairmentConfig, RateTrace
 from .render import KERNEL_MODES
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .telemetry import (
@@ -62,9 +65,30 @@ def _player_count(text: str) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.system == "mobile" and (args.trace_profile or args.abr):
+        print("--trace-profile/--abr require a networked system "
+              "(coterie, multi_furion, multi_furion_cache, thin_client)",
+              file=sys.stderr)
+        return 2
     impairment = None
     if args.loss > 0:
         impairment = ImpairmentConfig.bursty(args.loss, seed=args.seed)
+    if args.trace_profile is not None:
+        if args.trace_profile in TRACE_PROFILES:
+            rate_trace = RateTrace.named(
+                args.trace_profile, seed=args.seed,
+                duration_ms=args.duration * 1000.0,
+            )
+        else:
+            try:
+                rate_trace = RateTrace.from_file(args.trace_profile)
+            except (OSError, ValueError) as exc:
+                print(f"invalid --trace-profile: {exc}", file=sys.stderr)
+                return 2
+        if impairment is None:
+            impairment = ImpairmentConfig(rate_trace=rate_trace)
+        else:
+            impairment = dataclasses.replace(impairment, rate_trace=rate_trace)
     faults = None
     if args.faults:
         try:
@@ -92,6 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = SessionConfig(duration_s=args.duration, seed=args.seed,
                            wifi_mbps=args.wifi_mbps,
                            impairment=impairment, faults=faults,
+                           adapt=AbrConfig() if args.abr else None,
                            churn=churn, max_players=args.max_players,
                            tracer=tracer, kernels=args.kernels)
     if args.perf:
@@ -132,6 +157,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  stale frames    : {stale} (max age {max_age:.1f} ms)")
         print(f"  fetch retries   : {retries} "
               f"({abandoned} abandoned, {rewarms} re-warms)")
+    if config.adapt is not None:
+        metrics = [p.metrics for p in result.players if p.metrics.frames]
+        down = sum(m.abr_steps_down for m in metrics)
+        up = sum(m.abr_steps_up for m in metrics)
+        drops = sum(m.abr_drops for m in metrics)
+        drop_rate = sum(m.drop_rate for m in metrics) / len(metrics)
+        mean_crf = sum(m.abr_mean_crf for m in metrics) / len(metrics)
+        degraded = sum(m.abr_degraded_ms for m in metrics) / len(metrics)
+        print("  -- adaptation --")
+        print(f"  CRF ladder      : {down} steps down / {up} up "
+              f"(time-weighted CRF {mean_crf:.1f})")
+        print(f"  frame drops     : {drops} ({100 * drop_rate:.1f} % of frames)")
+        print(f"  degraded time   : {degraded:.0f} ms/player below base quality")
     if result.membership is not None:
         member = result.membership
         print("  -- membership --")
@@ -257,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "flap@3000-9000:2~800'")
     run.add_argument("--max-players", type=int, default=None,
                      help="admission-control roster cap (default 8)")
+    run.add_argument("--trace-profile", default=None, metavar="NAME|FILE",
+                     help="time-varying link-capacity trace: one of "
+                          f"{', '.join(TRACE_PROFILES)} (seeded by --seed), "
+                          "or a 'start_ms capacity_factor' trace file")
+    run.add_argument("--abr", action="store_true",
+                     help="enable the closed-loop adaptation controller "
+                          "(CRF ladder, prefetch throttling, frame drops)")
     run.add_argument("--trace", default=None, metavar="OUT.json",
                      help="write a Perfetto/chrome://tracing trace of the run")
     run.add_argument("--events", default=None, metavar="OUT.jsonl",

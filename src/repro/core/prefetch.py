@@ -67,6 +67,11 @@ class Prefetcher:
         # comparing near-BE sets.
         self.near_significance = near_significance
         self.fetches = 0
+        # Congestion throttle (repro.adapt): >= 1.0 multiplier widening
+        # the dist-thresh acceptance band so more cached candidates serve
+        # in place of fetches.  Exactly 1.0 leaves the clean lookup path
+        # untouched (the scale is not even applied).
+        self.thresh_scale = 1.0
 
     def plan(
         self,
@@ -92,6 +97,8 @@ class Prefetcher:
             snapped, cutoff, min_radius=self.near_significance * cutoff
         )
         dist_thresh = self.dist_thresh_map.threshold_for(snapped)
+        if self.thresh_scale != 1.0:
+            dist_thresh = dist_thresh * self.thresh_scale
         cached = self.cache.lookup(
             grid_point=grid_point,
             position=snapped,

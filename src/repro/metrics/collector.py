@@ -30,6 +30,9 @@ class FrameRecord:
     displayed_ssim: Optional[float] = None  # vs. reference, when computed
     deadline_missed: bool = False  # prefetch blew its per-frame deadline
     stale_age_ms: Optional[float] = None  # age of a stale fallback frame
+    # The ABR drop policy chose to skip this frame's transfer (controlled
+    # degradation; distinct from deadline_missed, which is reactive).
+    dropped: bool = False
 
     def __post_init__(self) -> None:
         if self.interval_ms <= 0:
@@ -85,6 +88,16 @@ class SessionMetrics:
     epochs_survived: int = 0  # membership epochs spent ACTIVE
     evictions: int = 0  # failure-detector evictions of this slot
     incarnations: int = 0  # admissions (0 when supervision is off)
+    # Adaptive-streaming outcomes (repro.adapt); all zero/empty when no
+    # controller ran, so clean-run equality is preserved bit-for-bit.
+    drop_rate: float = 0.0  # ABR-dropped fraction of frames
+    abr_steps_down: int = 0  # CRF ladder steps toward lower quality
+    abr_steps_up: int = 0  # CRF ladder steps back toward base quality
+    abr_drops: int = 0  # transfers skipped by the drop policy
+    abr_mean_crf: float = 0.0  # time-weighted mean CRF over the session
+    abr_degraded_ms: float = 0.0  # time spent below base quality
+    # (t_ms, crf) at every ladder change, starting at (0, base_crf).
+    abr_crf_timeline: tuple = ()
 
 
 class MetricsCollector:
@@ -164,6 +177,12 @@ class MetricsCollector:
             return 0.0
         return sum(r.deadline_missed for r in self.records) / len(self.records)
 
+    def drop_rate(self) -> float:
+        """Fraction of frames whose transfer the ABR policy skipped."""
+        if not self.records:
+            return 0.0
+        return sum(r.dropped for r in self.records) / len(self.records)
+
     def stale_ages(self) -> List[float]:
         """Stale-fallback ages of the frames that displayed one."""
         return [r.stale_age_ms for r in self.records if r.stale_age_ms is not None]
@@ -226,6 +245,7 @@ class MetricsCollector:
             p95_responsiveness_ms=p95_resp,
             p99_responsiveness_ms=p99_resp,
             deadline_miss_rate=self.deadline_miss_rate(),
+            drop_rate=self.drop_rate(),
             stale_frames=len(ages),
             mean_stale_age_ms=mean(ages) if ages else 0.0,
             max_stale_age_ms=max(ages) if ages else 0.0,

@@ -1,10 +1,13 @@
 """Network substrate: shared 802.11ac link, impairment, PUN-like FI sync."""
 
+from .estimator import EstimatorConfig, RateEstimator
 from .impairment import (
+    TRACE_PROFILES,
     DipEpisode,
     ImpairmentConfig,
     ImpairmentStats,
     LinkImpairment,
+    RateTrace,
     TransferImpairment,
 )
 from .link import MBIT, WifiLink
@@ -12,12 +15,16 @@ from .pun import PunChannel, PunConfig
 
 __all__ = [
     "DipEpisode",
+    "EstimatorConfig",
     "ImpairmentConfig",
     "ImpairmentStats",
     "LinkImpairment",
     "MBIT",
     "PunChannel",
     "PunConfig",
+    "RateEstimator",
+    "RateTrace",
+    "TRACE_PROFILES",
     "TransferImpairment",
     "WifiLink",
 ]

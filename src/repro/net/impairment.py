@@ -18,18 +18,29 @@ for untethered VR streaming).  Three composable mechanisms:
   extra loss).  A transfer starting inside a window is slowed for its
   whole life, which is exactly how a TCP flow that enters an interference
   burst behaves.
+* **Rate traces** — a :class:`RateTrace` is a piecewise-constant capacity
+  factor over the whole session: sustained, *time-varying* link rate
+  (cellular walks, bufferbloat ramps, Wi-Fi contention square waves)
+  rather than the episodic dips above.  Traces load from a file or come
+  from named seeded generators, and compose multiplicatively with any
+  active dip window — contention on top of an interference burst
+  compounds, as it does on a real medium.
 
 Determinism: one ``random.Random(seed)`` consumed in transfer-submission
-order.  The simulator resumes same-timestamp processes in FIFO order, so
-a (schedule, seed) pair replays bit-identically — no wall-clock anywhere.
+order, and trace generators draw their entire segment sequence from a
+dedicated ``random.Random(seed)`` at construction time (sampling a trace
+consumes no randomness).  The simulator resumes same-timestamp processes
+in FIFO order, so a (schedule, seed) pair replays bit-identically — no
+wall-clock anywhere.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Tuple
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,243 @@ class DipEpisode:
         return self.start_ms <= now_ms < self.end_ms
 
 
+#: Named synthetic rate-trace generators (see :meth:`RateTrace.named`).
+TRACE_PROFILES = ("cellular", "bufferbloat", "contention")
+
+
+@dataclass(frozen=True)
+class RateTrace:
+    """Piecewise-constant link capacity factor over time.
+
+    ``segments`` is a time-sorted tuple of ``(start_ms, capacity_factor)``
+    pairs; each factor applies from its start until the next segment's
+    start (the last segment extends forever).  Factors are fractions of
+    nominal capacity in ``(0, 1]``.  Before the first segment the link
+    runs at nominal capacity.
+
+    Traces are immutable and sampled with a binary search — replaying the
+    same trace is free of any hidden state.
+    """
+
+    segments: Tuple[Tuple[float, float], ...]
+    name: str = "custom"
+
+    # Derived, cached sample index (tuples; kept off the dataclass eq).
+    _starts: Tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("trace must contain at least one segment")
+        previous = -1.0
+        for start_ms, factor in self.segments:
+            if start_ms < 0:
+                raise ValueError("segment start_ms must be non-negative")
+            if start_ms <= previous:
+                raise ValueError(
+                    "segment starts must be strictly increasing"
+                )
+            if not 0.0 < factor <= 1.0:
+                raise ValueError(
+                    f"capacity factor must be in (0, 1], got {factor}"
+                )
+            previous = start_ms
+        object.__setattr__(
+            self, "_starts", tuple(s for s, _ in self.segments)
+        )
+
+    def factor_at(self, now_ms: float) -> float:
+        """Capacity fraction the trace dictates at ``now_ms``."""
+        index = bisect_right(self._starts, now_ms) - 1
+        if index < 0:
+            return 1.0  # before the trace starts: nominal capacity
+        return self.segments[index][1]
+
+    @property
+    def min_factor(self) -> float:
+        """Deepest capacity reduction anywhere in the trace."""
+        return min(factor for _, factor in self.segments)
+
+    def episodes(self, threshold: float = 0.999) -> Tuple[Tuple[float, float], ...]:
+        """Degraded intervals ``(start_ms, end_ms)`` where factor < threshold.
+
+        The last episode's end is the final segment boundary (an open-ended
+        degraded tail reports its start segment's start as both edges of
+        knowledge — callers treat ``end_ms == inf``).  Used by benchmarks
+        to measure recovery time after each trace episode.
+        """
+        episodes = []
+        open_start: Optional[float] = None
+        for start_ms, factor in self.segments:
+            if factor < threshold and open_start is None:
+                open_start = start_ms
+            elif factor >= threshold and open_start is not None:
+                episodes.append((open_start, start_ms))
+                open_start = None
+        if open_start is not None:
+            episodes.append((open_start, float("inf")))
+        return tuple(episodes)
+
+    # ------------------------------------------------------------------
+    # Construction: trace files and named synthetic generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str) -> "RateTrace":
+        """Load ``start_ms capacity_factor`` rows from a trace file.
+
+        Blank lines and ``#`` comments are skipped.  Rows may be separated
+        by whitespace or commas.  A malformed row fails with a
+        line-numbered message — never a bare stack trace.
+        """
+        segments = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise ValueError(f"cannot read trace file {path!r}: {exc}") from exc
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}: line {lineno}: expected "
+                    f"'start_ms capacity_factor', got {raw.strip()!r}"
+                )
+            try:
+                start_ms, factor = float(parts[0]), float(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}: line {lineno}: non-numeric value in "
+                    f"{raw.strip()!r}"
+                ) from None
+            segments.append((start_ms, factor))
+        if not segments:
+            raise ValueError(f"{path}: trace file contains no segments")
+        try:
+            return cls(segments=tuple(segments), name=f"file:{path}")
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from None
+
+    @classmethod
+    def cellular(
+        cls,
+        seed: int = 0,
+        duration_ms: float = 20_000.0,
+        step_ms: float = 500.0,
+        floor: float = 0.12,
+    ) -> "RateTrace":
+        """Seeded random-walk capacity, the rapidly-varying cellular link.
+
+        A multiplicative walk over ``step_ms`` epochs, clamped to
+        ``[floor, 1]`` — the shape of the 6.829 cloud-gaming pset's
+        Mahimahi cellular traces: long coherent fades with fast wiggle.
+        """
+        if duration_ms <= 0 or step_ms <= 0:
+            raise ValueError("duration_ms and step_ms must be positive")
+        if not 0.0 < floor <= 1.0:
+            raise ValueError("floor must be in (0, 1]")
+        rng = random.Random(seed)
+        segments = []
+        factor = 1.0
+        t = 0.0
+        while t < duration_ms:
+            factor *= math.exp(rng.gauss(-0.08, 0.35))
+            factor = min(1.0, max(floor, factor))
+            segments.append((t, factor))
+            t += step_ms
+        return cls(segments=tuple(segments), name=f"cellular(seed={seed})")
+
+    @classmethod
+    def bufferbloat(
+        cls,
+        duration_ms: float = 20_000.0,
+        ramp_start_frac: float = 0.2,
+        ramp_end_frac: float = 0.55,
+        recover_frac: float = 0.8,
+        trough: float = 0.15,
+        step_ms: float = 250.0,
+    ) -> "RateTrace":
+        """Deterministic capacity ramp: slow decay to a trough, then recovery.
+
+        The effective-rate shape of a bufferbloat event — queues fill
+        gradually, goodput decays, then the queue drains and the link
+        snaps back.
+        """
+        if duration_ms <= 0 or step_ms <= 0:
+            raise ValueError("duration_ms and step_ms must be positive")
+        if not 0.0 < trough <= 1.0:
+            raise ValueError("trough must be in (0, 1]")
+        if not 0.0 <= ramp_start_frac < ramp_end_frac <= recover_frac <= 1.0:
+            raise ValueError("ramp fractions must be ordered in [0, 1]")
+        ramp_start = duration_ms * ramp_start_frac
+        ramp_end = duration_ms * ramp_end_frac
+        recover = duration_ms * recover_frac
+        segments = [(0.0, 1.0)]
+        t = step_ms * math.ceil(ramp_start / step_ms)
+        if t <= 0.0:
+            t = step_ms
+        while t < duration_ms:
+            if t < ramp_end:
+                span = max(ramp_end - ramp_start, step_ms)
+                frac = (t - ramp_start) / span
+                factor = 1.0 - (1.0 - trough) * min(1.0, frac)
+            elif t < recover:
+                factor = trough
+            else:
+                factor = 1.0
+            segments.append((t, max(trough, min(1.0, factor))))
+            t += step_ms
+        return cls(segments=tuple(segments), name="bufferbloat")
+
+    @classmethod
+    def contention(
+        cls,
+        duration_ms: float = 20_000.0,
+        period_ms: float = 2_000.0,
+        duty: float = 0.5,
+        low: float = 0.25,
+    ) -> "RateTrace":
+        """Square-wave capacity: a contending Wi-Fi station toggling on/off.
+
+        Each period spends ``duty`` of its length at full capacity and the
+        rest at ``low`` — the alternating medium share of a periodic bulk
+        transfer on the same channel.
+        """
+        if duration_ms <= 0 or period_ms <= 0:
+            raise ValueError("duration_ms and period_ms must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+        if not 0.0 < low <= 1.0:
+            raise ValueError("low must be in (0, 1]")
+        segments = []
+        t = 0.0
+        while t < duration_ms:
+            segments.append((t, 1.0))
+            segments.append((t + period_ms * duty, low))
+            t += period_ms
+        return cls(segments=tuple(segments), name="contention")
+
+    @classmethod
+    def named(
+        cls, profile: str, seed: int = 0, duration_ms: float = 20_000.0
+    ) -> "RateTrace":
+        """Build one of the committed synthetic profiles by name."""
+        if profile == "cellular":
+            return cls.cellular(seed=seed, duration_ms=duration_ms)
+        if profile == "bufferbloat":
+            return cls.bufferbloat(duration_ms=duration_ms)
+        if profile == "contention":
+            return cls.contention(duration_ms=duration_ms)
+        raise ValueError(
+            f"unknown trace profile {profile!r}; "
+            f"use one of {TRACE_PROFILES} or file:PATH"
+        )
+
+
 @dataclass(frozen=True)
 class ImpairmentConfig:
     """Knobs of the impairment model; the default is the identity.
@@ -73,6 +321,7 @@ class ImpairmentConfig:
     mtu_bytes: int = 1448  # segment size the loss chain is walked over
     seed: int = 0
     dips: Tuple[DipEpisode, ...] = ()
+    rate_trace: Optional[RateTrace] = None  # time-varying capacity
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
@@ -104,6 +353,7 @@ class ImpairmentConfig:
             self.loss_rate == 0.0
             and self.jitter_median_ms == 0.0
             and not self.dips
+            and self.rate_trace is None
         )
 
 
@@ -151,11 +401,20 @@ class LinkImpairment:
         self._bad = False  # Gilbert-Elliott chain state
 
     def capacity_factor(self, now_ms: float) -> float:
-        """Medium capacity fraction at ``now_ms`` (dip windows stack by min)."""
+        """Medium capacity fraction at ``now_ms``.
+
+        Dip windows stack by min (overlapping interference bursts do not
+        compound below the worst one); a rate trace then *multiplies* in —
+        contention riding on top of an interference burst compounds, as
+        two independent mechanisms do on a real medium.
+        """
         factor = 1.0
         for dip in self.config.dips:
             if dip.active_at(now_ms):
                 factor = min(factor, dip.capacity_factor)
+        trace = self.config.rate_trace
+        if trace is not None:
+            factor *= trace.factor_at(now_ms)
         return factor
 
     def _loss_rate_at(self, now_ms: float) -> float:

@@ -198,9 +198,15 @@ class WifiLink:
     def bandwidth_mbps(self, tag: str, horizon_ms: float) -> float:
         """Average bandwidth consumed by ``tag`` traffic over a horizon."""
         if horizon_ms <= 0:
-            raise ValueError("horizon_ms must be positive")
+            raise ValueError(
+                f"horizon_ms must be positive, got {horizon_ms}"
+            )
         return self.bytes_for(tag) * 8.0 / MBIT / (horizon_ms / 1000.0)
 
     def utilization(self, horizon_ms: float) -> float:
         """Fraction of the horizon the medium was busy."""
+        if horizon_ms <= 0:
+            raise ValueError(
+                f"horizon_ms must be positive, got {horizon_ms}"
+            )
         return self._medium.utilization(horizon_ms)

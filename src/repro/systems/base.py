@@ -19,6 +19,7 @@ import numpy as np
 
 import dataclasses
 
+from ..adapt import AbrConfig, AbrController
 from ..codec import CodecTiming, FrameCodec
 from ..faults import ChurnSchedule, FaultInjector, FaultSchedule
 from ..metrics import (
@@ -66,6 +67,8 @@ class SessionConfig:
     # --- robustness (all default-off: clean runs are bit-identical) ---
     impairment: Optional[ImpairmentConfig] = None  # link loss/jitter/dips
     faults: Optional[FaultSchedule] = None  # scripted failure windows
+    # --- adaptation (None: fixed CRF, no estimator, clean path) ---
+    adapt: Optional[AbrConfig] = None  # closed-loop ABR knobs
     prefetch_deadline_ms: Optional[float] = None  # None: frame budget - merge
     fetch_timeout_ms: float = 250.0  # first background-retry timeout
     fetch_max_retries: int = 5  # background re-issues before giving up
@@ -128,6 +131,7 @@ class SessionConfig:
             self.impairment is not None
             or self.faults is not None
             or self.prefetch_deadline_ms is not None
+            or self.adapt is not None
         )
 
 
@@ -239,6 +243,9 @@ class Session:
         self.fi_ms = self.cost_model.fi_ms(world.spec.fi_triangles)
         self._kernel_renders_traced = 0  # trace_kernel_reuse watermark
         self.horizon_ms = config.duration_s * 1000.0
+        # Per-slot ABR controllers; seated by the system loop (which knows
+        # the nominal frame size) via init_abr.  None when adapt is off.
+        self.abr: Optional[List[AbrController]] = None
         self.supervisor: Optional[SessionSupervisor] = None
         if config.supervised:
             self.supervisor = SessionSupervisor(
@@ -439,6 +446,28 @@ class Session:
             cat="fault", args={"fault": "outage"},
         )
 
+    def init_abr(self, nominal_bytes: float) -> Optional[List[AbrController]]:
+        """Seat one ABR controller per slot (no-op when adapt is off).
+
+        ``nominal_bytes`` anchors the ladder forecast: the typical wire
+        size of this system's frames at base quality (Coterie: the far-BE
+        size model mean; whole-BE systems: their size model mean).
+        """
+        if self.config.adapt is None:
+            return None
+        self.abr = [
+            AbrController(
+                self.config.adapt,
+                player_id,
+                base_crf=self.config.codec_crf,
+                deadline_ms=self.prefetch_deadline_ms(),
+                nominal_bytes=nominal_bytes,
+                tracer=self.tracer,
+            )
+            for player_id in range(self.total_slots)
+        ]
+        return self.abr
+
     def prefetch_deadline_ms(self) -> float:
         """Per-frame prefetch deadline derived from the frame budget.
 
@@ -475,6 +504,17 @@ class Session:
                 # crashed mid-warm-up) has no QoE row to report.
                 continue
             metrics = collector.summary(cpu_utilization=cpu_per_player[player_id])
+            if self.abr is not None:
+                controller = self.abr[player_id]
+                metrics = dataclasses.replace(
+                    metrics,
+                    abr_steps_down=controller.steps_down,
+                    abr_steps_up=controller.steps_up,
+                    abr_drops=controller.drops,
+                    abr_mean_crf=controller.mean_crf(horizon),
+                    abr_degraded_ms=controller.degraded_ms(horizon),
+                    abr_crf_timeline=tuple(controller.crf_timeline),
+                )
             if self.supervisor is not None:
                 stats = self.supervisor.stats[player_id]
                 metrics = dataclasses.replace(

@@ -160,6 +160,11 @@ def run_coterie(
     # cache re-warm after a reconnect.
     pending_fetch = [False] * n_slots
     needs_rewarm = [False] * n_slots
+    # Closed-loop adaptation (None when config.adapt is off): per-slot
+    # controllers stepping the CRF ladder, throttling the prefetcher, and
+    # choosing app-layer frame drops.  The far-BE size-model mean anchors
+    # the ladder forecast.
+    abr = session.init_abr(artifacts.far_size_model.mean_bytes)
 
     def overhear_targets(player_id):
         """Caches a server reply is mirrored into (overhear variant)."""
@@ -210,6 +215,8 @@ def run_coterie(
                 # Completion raced the timeout (e.g. mid-jitter); the
                 # event is about to fire — wait it out.
                 yield ev
+            if abr is not None:
+                abr[player_id].observe_transfer(sim.now, frame_bytes, ev.value)
             admit_all(decision, stored, frame_bytes, sim.now, player_id)
             pending_fetch[player_id] = False
             if tracer.enabled:
@@ -299,6 +306,7 @@ def run_coterie(
     def client(player_id: int):
         prefetcher = prefetchers[player_id]
         collector = session.collectors[player_id]
+        controller = abr[player_id] if abr is not None else None
         if supervisor is not None and supervisor.state(player_id) == WARMING:
             yield from warmup(player_id)
             if supervisor.state(player_id) != ACTIVE:
@@ -318,6 +326,12 @@ def run_coterie(
                     needs_rewarm[player_id] = True
                     continue
             t0 = sim.now
+            if controller is not None:
+                # Ladder re-evaluation and prefetch throttling happen
+                # *before* plan() so this frame's fetch (and its cache
+                # acceptance band) already reflect the chosen rung.
+                controller.on_frame(t0)
+                prefetcher.thresh_scale = controller.thresh_scale()
             sample = session.position_at(player_id, t0)
             decision = prefetcher.plan(sample.position, sample.heading, t0)
 
@@ -325,6 +339,7 @@ def run_coterie(
             transfer_ms = 0.0
             deadline_missed = False
             stale_age_ms = None
+            dropped = False
             if decision.needs_fetch or not use_cache:
                 if not degraded:
                     # Clean path — identical to the pre-robustness code.
@@ -343,11 +358,33 @@ def run_coterie(
                     if cached is not None:
                         stale_age_ms = t0 - cached.inserted_ms
                         perf.count("resilience.stale_frames")
+                elif (
+                    controller is not None
+                    and not needs_rewarm[player_id]
+                    and len(caches[player_id]) > 0
+                    and controller.should_drop(
+                        t0, controller.scaled_bytes(controller.nominal_bytes)
+                    )
+                ):
+                    # App-layer drop: the forecast says this fetch cannot
+                    # land anywhere near the deadline, so the transfer is
+                    # never issued (no server render, no medium load) and
+                    # the nearest cached panorama displays instead.  A
+                    # chosen degradation — not a deadline miss.
+                    dropped = True
+                    cached = caches[player_id].nearest(decision.position,
+                                                       now_ms=t0)
+                    stale_age_ms = t0 - cached.inserted_ms
+                    perf.count("adapt.drops")
                 else:
                     stored = store.frame_for(decision.grid_point)
                     if tracer.enabled:
                         session.trace_kernel_reuse(store, player_id, t0)
                     frame_bytes = stored.wire_bytes
+                    if controller is not None:
+                        # Re-encode at the current rung: the ladder only
+                        # changes the wire size (§4.5's CRF staircase).
+                        frame_bytes = controller.scaled_bytes(frame_bytes)
                     stall_ms = session.server_stall_ms(t0)
                     if stall_ms > 0:
                         yield stall_ms
@@ -364,6 +401,10 @@ def run_coterie(
                                 args={"bytes": frame_bytes},
                             )
                         transfer_ms = stall_ms + (yield transfer_ev)
+                        if controller is not None:
+                            controller.observe_transfer(
+                                sim.now, frame_bytes, transfer_ms - stall_ms
+                            )
                         cached = admit_all(
                             decision, stored, frame_bytes, sim.now, player_id
                         )
@@ -374,6 +415,10 @@ def run_coterie(
                         )
                         if transfer_ev.triggered:
                             transfer_ms = stall_ms + transfer_ev.value
+                            if controller is not None:
+                                controller.observe_transfer(
+                                    sim.now, frame_bytes, transfer_ev.value
+                                )
                             cached = admit_all(
                                 decision, stored, frame_bytes, sim.now, player_id
                             )
@@ -387,6 +432,11 @@ def run_coterie(
                                 # Nothing cached to show (cold start):
                                 # the display has to wait for the fetch.
                                 transfer_ms = stall_ms + (yield transfer_ev)
+                                if controller is not None:
+                                    controller.observe_transfer(
+                                        sim.now, frame_bytes,
+                                        transfer_ms - stall_ms,
+                                    )
                                 cached = admit_all(
                                     decision, stored, frame_bytes, sim.now,
                                     player_id,
@@ -464,6 +514,7 @@ def run_coterie(
                     displayed_ssim=displayed_ssim,
                     deadline_missed=deadline_missed,
                     stale_age_ms=stale_age_ms,
+                    dropped=dropped,
                 )
             )
             if ssim_job is not None:
@@ -487,6 +538,8 @@ def run_coterie(
                     outcome = "bypass"
                 elif not decision.needs_fetch:
                     outcome = "hit"
+                elif dropped:
+                    outcome = "drop"
                 elif stale_age_ms is not None:
                     outcome = "stale"
                 else:

@@ -71,6 +71,11 @@ def run_multi_furion(
             if cache is not None:
                 cache.tracer = tracer
                 cache.owner = player_id
+    # Closed-loop adaptation (None when config.adapt is off).  Without a
+    # far-BE prefetcher there is nothing to throttle; the ladder scales
+    # the whole-BE wire size and the drop policy re-displays the previous
+    # panorama when the forecast says a fetch cannot land in time.
+    abr = session.init_abr(size_model.mean_bytes)
 
     def warmup(player_id: int):
         """Late-joiner handshake: block on one whole-BE panorama.
@@ -99,6 +104,8 @@ def run_multi_furion(
 
     def client(player_id: int):
         cache = caches[player_id]
+        controller = abr[player_id] if abr is not None else None
+        last_frame_ms = None  # when the displayed panorama last refreshed
         frame_index = 0
         if supervisor is not None and supervisor.state(player_id) == WARMING:
             yield from warmup(player_id)
@@ -115,6 +122,8 @@ def run_multi_furion(
                     session.trace_outage(player_id, outage_start, sim.now)
                 continue
             t0 = sim.now
+            if controller is not None:
+                controller.on_frame(t0)
             sample = session.position_at(player_id, t0)
             grid_point = session.world.grid.snap(sample.position)
             snapped = session.world.grid.to_world(grid_point)
@@ -126,27 +135,49 @@ def run_multi_furion(
                 )
             frame_bytes = 0
             transfer_ms = 0.0
+            dropped = False
+            stale_age_ms = None
             if hit is None:
                 frame_bytes = size_model.sample(grid_point)
-                stall_ms = session.server_stall_ms(t0)
-                if stall_ms > 0:
-                    yield stall_ms  # scripted slow server response
-                transfer_ms = stall_ms
-                transfer_ms += yield session.link.transfer(frame_bytes, tag="be")
-                if cache is not None:
-                    cache.insert(
-                        CachedFrame(
-                            grid_point=grid_point,
-                            position=snapped,
-                            leaf=_WHOLE_LEAF,
-                            near_ids=frozenset(),
-                            payload=None,
-                            size_bytes=frame_bytes,
-                            inserted_ms=t0,
-                            last_used_ms=t0,
-                            origin_player=player_id,
+                if controller is not None:
+                    frame_bytes = controller.scaled_bytes(frame_bytes)
+                if (
+                    controller is not None
+                    and last_frame_ms is not None
+                    and controller.should_drop(t0, frame_bytes)
+                ):
+                    # App-layer drop: re-display the previously decoded
+                    # panorama instead of issuing a doomed transfer.
+                    dropped = True
+                    stale_age_ms = t0 - last_frame_ms
+                    frame_bytes = 0
+                else:
+                    stall_ms = session.server_stall_ms(t0)
+                    if stall_ms > 0:
+                        yield stall_ms  # scripted slow server response
+                    transfer_ms = stall_ms
+                    transfer_ms += yield session.link.transfer(frame_bytes, tag="be")
+                    if controller is not None:
+                        controller.observe_transfer(
+                            sim.now, frame_bytes, transfer_ms - stall_ms
                         )
-                    )
+                    last_frame_ms = sim.now
+                    if cache is not None:
+                        cache.insert(
+                            CachedFrame(
+                                grid_point=grid_point,
+                                position=snapped,
+                                leaf=_WHOLE_LEAF,
+                                near_ids=frozenset(),
+                                payload=None,
+                                size_bytes=frame_bytes,
+                                inserted_ms=t0,
+                                last_used_ms=t0,
+                                origin_player=player_id,
+                            )
+                        )
+            else:
+                last_frame_ms = t0
             session.pun.tick()
             timings = PipelineTimings(
                 render_fi_ms=session.fi_ms,
@@ -167,13 +198,17 @@ def run_multi_furion(
                     net_delay_ms=transfer_ms,
                     frame_bytes=frame_bytes,
                     cache_hit=(hit is not None) if cache is not None else None,
+                    stale_age_ms=stale_age_ms,
+                    dropped=dropped,
                 )
             )
             if supervisor is not None:
                 supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:
                 outcome = None
-                if cache is not None:
+                if dropped:
+                    outcome = "drop"
+                elif cache is not None:
                     outcome = "hit" if hit is not None else "fetch"
                 session.trace_pipeline_frame(
                     player_id, frame_index, t0, timings, interval,

@@ -51,6 +51,11 @@ def run_thin_client(
         )
 
     tracer = session.tracer
+    # Closed-loop adaptation (None when config.adapt is off).  The ladder
+    # scales the streamed frame's wire size; a drop holds the previous
+    # streamed frame on screen for one display interval instead of
+    # pushing a doomed transfer into the congested medium.
+    abr = session.init_abr(size_model.mean_bytes)
 
     def warmup(player_id: int):
         """Late-joiner handshake: stream the first rendered frame.
@@ -78,6 +83,8 @@ def run_thin_client(
             )
 
     def client(player_id: int):
+        controller = abr[player_id] if abr is not None else None
+        last_frame_ms = None  # when a streamed frame last reached the screen
         frame_index = 0
         if supervisor is not None and supervisor.state(player_id) == WARMING:
             yield from warmup(player_id)
@@ -94,31 +101,58 @@ def run_thin_client(
                     session.trace_outage(player_id, outage_start, sim.now)
                 continue
             t0 = sim.now
+            if controller is not None:
+                controller.on_frame(t0)
             sample = session.position_at(player_id, t0)
             grid_point = session.world.grid.snap(sample.position)
             frame_bytes = size_model.sample(grid_point)
+            if controller is not None:
+                frame_bytes = controller.scaled_bytes(frame_bytes)
 
-            server_render_ms = server_model.frame_ms(
-                session.cost_model.fi_ms(world.spec.fi_triangles) / 10.0,
-                server_model.whole_be_ms(world.scene, sample.position),
-            )
-            stall_ms = session.server_stall_ms(t0)
-            if stall_ms > 0:
-                yield stall_ms  # scripted server-side stall
-            encode_ms = session.codec_timing.encode_ms(FOUR_K_PIXELS)
-            transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
-            decode_ms = session.cost_model.decode_ms(3840, 2160)
+            dropped = False
+            stale_age_ms = None
+            if (
+                controller is not None
+                and last_frame_ms is not None
+                and controller.should_drop(t0, frame_bytes)
+            ):
+                # App-layer drop: hold the previous streamed frame for one
+                # display interval; no pose upload, render, or transfer.
+                dropped = True
+                stale_age_ms = t0 - last_frame_ms
+                frame_bytes = 0
+                transfer_ms = 0.0
+                stall_ms = 0.0
+                server_render_ms = 0.0
+                encode_ms = 0.0
+                decode_ms = 0.0
+                latency = 1000.0 / 60.0
+            else:
+                server_render_ms = server_model.frame_ms(
+                    session.cost_model.fi_ms(world.spec.fi_triangles) / 10.0,
+                    server_model.whole_be_ms(world.scene, sample.position),
+                )
+                stall_ms = session.server_stall_ms(t0)
+                if stall_ms > 0:
+                    yield stall_ms  # scripted server-side stall
+                encode_ms = session.codec_timing.encode_ms(FOUR_K_PIXELS)
+                transfer_ms = yield session.link.transfer(frame_bytes, tag="be")
+                if controller is not None:
+                    controller.observe_transfer(sim.now, frame_bytes, transfer_ms)
+                decode_ms = session.cost_model.decode_ms(3840, 2160)
 
-            latency = (
-                POSE_UPLOAD_MS
-                + SERVER_SCHEDULING_MS
-                + stall_ms
-                + server_render_ms
-                + encode_ms
-                + transfer_ms
-                + decode_ms
-            )
+                latency = (
+                    POSE_UPLOAD_MS
+                    + SERVER_SCHEDULING_MS
+                    + stall_ms
+                    + server_render_ms
+                    + encode_ms
+                    + transfer_ms
+                    + decode_ms
+                )
             interval = max(latency, 1000.0 / 60.0)
+            if not dropped:
+                last_frame_ms = t0 + interval
             session.pun.tick()
             session.collectors[player_id].add(
                 FrameRecord(
@@ -128,6 +162,8 @@ def run_thin_client(
                     responsiveness_ms=latency + SENSOR_SCANOUT_MS,
                     net_delay_ms=transfer_ms,
                     frame_bytes=frame_bytes,
+                    stale_age_ms=stale_age_ms,
+                    dropped=dropped,
                 )
             )
             if supervisor is not None:

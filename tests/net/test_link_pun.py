@@ -79,6 +79,28 @@ class TestWifiLink:
         with pytest.raises(ValueError):
             WifiLink(Simulator(), capacity_mbps=0)
 
+    @pytest.mark.parametrize("horizon_ms", [0.0, -1.0, -250.0])
+    def test_bandwidth_rejects_non_positive_horizon(self, horizon_ms):
+        """Regression: a zero/negative horizon must raise at the link
+        layer with the offending value, never divide through or rely on
+        the medium's internal checks."""
+        link = WifiLink(Simulator())
+        with pytest.raises(ValueError, match="horizon_ms must be positive"):
+            link.bandwidth_mbps("be", horizon_ms)
+
+    @pytest.mark.parametrize("horizon_ms", [0.0, -1.0, -250.0])
+    def test_utilization_rejects_non_positive_horizon(self, horizon_ms):
+        link = WifiLink(Simulator())
+        with pytest.raises(ValueError, match="horizon_ms must be positive"):
+            link.utilization(horizon_ms)
+
+    def test_horizon_guard_message_names_value(self):
+        link = WifiLink(Simulator())
+        with pytest.raises(ValueError, match="-3.0"):
+            link.bandwidth_mbps("be", -3.0)
+        with pytest.raises(ValueError, match="-3.0"):
+            link.utilization(-3.0)
+
     def test_tag_accounting(self):
         sim = Simulator()
         link = WifiLink(sim, capacity_mbps=500.0)

@@ -15,7 +15,9 @@ import dataclasses
 
 import pytest
 
+from repro.adapt import AbrConfig
 from repro.faults import ChurnSchedule, FaultSchedule
+from repro.net import ImpairmentConfig, RateTrace
 from repro.session import ACTIVE, CRASHED, LEFT, SupervisorConfig
 from repro.systems import (
     SessionConfig,
@@ -229,6 +231,29 @@ class TestChaosMatrix:
         config = SessionConfig(
             duration_s=3.0, seed=seed, churn=ChurnSchedule.parse(spec),
             supervision=SupervisorConfig(warmup_fetches=2),
+        )
+        result = run_coterie(world, 2, config, artifacts)
+        member = result.membership
+        assert member.invariant_violations == 0
+        assert member.invariant_checks > 0
+        assert member.n_epochs >= 2
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("spec", CHAOS_SCHEDULES)
+    def test_coterie_chaos_adaptive(self, pool, spec, seed):
+        """Churn storms with the ABR loop live on a degrading link.
+
+        Adaptation must not disturb membership invariants: controllers
+        are per-slot, so evictions/rejoins land mid-degradation and the
+        replacement incarnation starts from a fresh rung.
+        """
+        trace = RateTrace.named("cellular", seed=seed, duration_ms=3000.0)
+        world, artifacts = pool
+        config = SessionConfig(
+            duration_s=3.0, seed=seed, churn=ChurnSchedule.parse(spec),
+            supervision=SupervisorConfig(warmup_fetches=2),
+            impairment=ImpairmentConfig(rate_trace=trace),
+            adapt=AbrConfig(),
         )
         result = run_coterie(world, 2, config, artifacts)
         member = result.membership

@@ -109,6 +109,42 @@ class TestChurnCommands:
         assert "membership" not in capsys.readouterr().out
 
 
+class TestAdaptiveCommands:
+    def test_abr_with_trace_prints_adaptation(self, capsys):
+        assert main(["run", "coterie", "pool", "2", "--duration", "3",
+                     "--trace-profile", "bufferbloat", "--abr"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptation" in out
+        assert "CRF ladder" in out
+        assert "frame drops" in out
+
+    def test_trace_profile_without_abr_runs_fixed(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--trace-profile", "cellular"]) == 0
+        assert "adaptation" not in capsys.readouterr().out
+
+    def test_trace_profile_from_file(self, tmp_path, capsys):
+        trace = tmp_path / "capacity.txt"
+        trace.write_text("0 1.0\n500 0.3\n1500 1.0\n")
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--trace-profile", str(trace), "--abr"]) == 0
+        assert "adaptation" in capsys.readouterr().out
+
+    def test_unknown_trace_profile_is_an_error(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--trace-profile", "wormhole"]) == 2
+        assert "invalid --trace-profile" in capsys.readouterr().err
+
+    def test_abr_on_mobile_is_an_error(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--abr"]) == 2
+        assert "networked system" in capsys.readouterr().err
+
+    def test_clean_run_omits_adaptation(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2"]) == 0
+        assert "adaptation" not in capsys.readouterr().out
+
+
 class TestTelemetryCommands:
     def test_run_writes_trace_and_events(self, tmp_path, capsys):
         import json
