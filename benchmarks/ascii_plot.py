@@ -9,6 +9,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+# Sparklines live with the dashboard machinery (one normalization, one
+# glyph ramp); re-exported here so bench scripts keep a single plotting
+# import surface.
+from repro.telemetry.dashboard import SPARK_LEVELS, sparkline  # noqa: F401
+
 
 def ascii_cdf(
     series: Dict[str, Sequence[float]],

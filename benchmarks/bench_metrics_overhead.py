@@ -1,0 +1,267 @@
+"""E-T12 — metrics overhead: metering must observe the run, not steer it.
+
+The metrics pipeline makes the same promise the tracer does (DESIGN.md
+§12): a metered run is *bit-identical* to an unmetered one — samples are
+stamped retroactively on sim-time boundaries, never scheduled — and the
+cost of carrying a live :class:`~repro.telemetry.MetricsHub` through a
+full online run stays under 5% of wall time.  This benchmark pins both
+on a 2-player Coterie run over the cellular capacity trace with a
+scripted loss dip, a condition chosen so the deadline-miss SLO *fires*:
+
+* **overhead** — min-of-repeats wall time with metrics off vs. on; the
+  ratio must stay under :data:`MAX_OVERHEAD`;
+* **fidelity** — the metered run's per-player metrics must equal the
+  unmetered run's exactly, the burn-rate alerts must fire (and fire at
+  the same sim times on every repeat), the OpenMetrics exposition must
+  be well-formed, and the JSONL series dump must round-trip losslessly.
+
+Results land in ``benchmarks/results/BENCH_metrics.json``.  Run
+standalone with ``python benchmarks/bench_metrics_overhead.py`` (add
+``--smoke`` for the CI quick mode: shorter run, fewer repeats, relaxed
+overhead gate — the fidelity gates never relax).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import fmt, report, run_cost, write_bench
+
+from repro.faults import FaultSchedule
+from repro.net import ImpairmentConfig, RateTrace
+from repro.systems import SessionConfig, prepare_artifacts, run_coterie
+from repro.telemetry import (
+    MetricsHub,
+    SloEngine,
+    read_metrics_jsonl,
+    to_openmetrics,
+    write_metrics_jsonl,
+)
+from repro.world import load_game
+
+GAME = "racing"
+SEED = 1
+PLAYERS = 2
+TRACE_PROFILE = "cellular"
+# The dip sits inside the smoke horizon so the deadline-miss SLO fires
+# (rising-edge alerts) in both smoke and full modes.
+FAULT_SPEC = "dip@500-1500:0.05"
+
+DURATION_S = 4.0
+REPEATS = 5
+MAX_OVERHEAD = 0.05  # metered wall time may exceed unmetered by <= 5%
+
+SMOKE_DURATION_S = 2.0
+SMOKE_REPEATS = 2
+# One-shot CI runners are noisy; the smoke gate only catches disasters
+# (e.g. metering accidentally scheduling events).  The 5% bar is
+# enforced by the full run.
+SMOKE_MAX_OVERHEAD = 0.50
+
+MIN_SERIES = 20  # a metered Coterie run must expose at least this many
+
+
+def _config(duration_s, hub):
+    impairment = ImpairmentConfig(
+        rate_trace=RateTrace.named(
+            TRACE_PROFILE, seed=SEED, duration_ms=duration_s * 1000.0
+        )
+    )
+    return SessionConfig(
+        duration_s=duration_s, seed=SEED, metrics=hub,
+        impairment=impairment, faults=FaultSchedule.parse(FAULT_SPEC),
+    )
+
+
+def _metrics_key(result):
+    """Everything that must match bit-for-bit between metered/unmetered."""
+    return (
+        [p.metrics for p in result.players],
+        result.be_mbps,
+        result.fi_kbps,
+    )
+
+
+def _alert_signature(hub):
+    """Deterministic fingerprint of every burn-rate alert firing."""
+    results = SloEngine().evaluate(hub.series)
+    return tuple(
+        (a.slo, round(a.t_ms, 6), a.short_ms, a.long_ms, a.threshold)
+        for r in results
+        for a in r.alerts
+    )
+
+
+def _timed_runs(world, artifacts, duration_s, repeats):
+    """Min-of-repeats wall time for the unmetered and metered variants.
+
+    The two variants alternate (cold-cache and thermal drift hit both
+    equally) and each repeat uses a fresh hub so ring growth never
+    compounds across repeats.  Every metered repeat's alert signature is
+    kept, so the determinism gate sees all of them.
+    """
+    unmetered_s, metered_s = [], []
+    signatures = []
+    baseline = metered = hub = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        baseline = run_coterie(
+            world, PLAYERS, _config(duration_s, None), artifacts
+        )
+        unmetered_s.append(time.perf_counter() - t0)
+
+        hub = MetricsHub()
+        t0 = time.perf_counter()
+        metered = run_coterie(
+            world, PLAYERS, _config(duration_s, hub), artifacts
+        )
+        metered_s.append(time.perf_counter() - t0)
+        signatures.append(_alert_signature(hub))
+    return min(unmetered_s), min(metered_s), baseline, metered, hub, signatures
+
+
+def _openmetrics_valid(text):
+    """Minimal well-formedness: typed families, EOF terminator."""
+    if not text.endswith("# EOF\n"):
+        return False
+    lines = [ln for ln in text.splitlines() if ln and not ln.startswith("#")]
+    if not lines:
+        return False
+    return all(len(ln.rsplit(" ", 1)) == 2 for ln in lines)
+
+
+def _dump_round_trips(hub):
+    """JSONL dump reads back to exactly the sampled series."""
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        write_metrics_jsonl(path, hub,
+                            slo_results=SloEngine().evaluate(hub.series))
+        dump = read_metrics_jsonl(path)
+    finally:
+        os.unlink(path)
+    expected = {
+        name: [(round(t, 6), float(v)) for t, v in ring]
+        for name, ring in hub.series.items()
+    }
+    return dump.series == expected and dump.series_types == hub.series_types()
+
+
+def run_benchmark(smoke=False):
+    """Run both variants; returns the measurement record pieces."""
+    duration_s = SMOKE_DURATION_S if smoke else DURATION_S
+    repeats = SMOKE_REPEATS if smoke else REPEATS
+    world = load_game(GAME)
+    artifacts = prepare_artifacts(
+        world, SessionConfig(duration_s=duration_s, seed=SEED)
+    )
+    unmetered_s, metered_s, baseline, metered, hub, signatures = _timed_runs(
+        world, artifacts, duration_s, repeats
+    )
+    overhead = (metered_s - unmetered_s) / unmetered_s
+    return {
+        "smoke": smoke,
+        "duration_s": duration_s,
+        "repeats": repeats,
+        "unmetered_s": unmetered_s,
+        "metered_s": metered_s,
+        "overhead": overhead,
+        "series": len(hub.series),
+        "samples": hub.samples_taken,
+        "alerts": len(signatures[-1]),
+        "_baseline": baseline,
+        "_metered": metered,
+        "_hub": hub,
+        "_signatures": signatures,
+    }
+
+
+def _acceptance(m):
+    """Named gates; the fidelity gates are identical in both modes."""
+    hub, signatures = m["_hub"], m["_signatures"]
+    max_overhead = SMOKE_MAX_OVERHEAD if m["smoke"] else MAX_OVERHEAD
+    return {
+        "overhead_under_limit": m["overhead"] < max_overhead,
+        "metered_metrics_bit_identical": (
+            _metrics_key(m["_baseline"]) == _metrics_key(m["_metered"])
+        ),
+        "series_instrumented": len(hub.series) >= MIN_SERIES,
+        "slo_alerts_fired": len(signatures[-1]) >= 1,
+        "slo_alerts_deterministic": len(set(signatures)) == 1,
+        "openmetrics_exposition_valid": _openmetrics_valid(
+            to_openmetrics(hub)
+        ),
+        "series_dump_round_trips": _dump_round_trips(hub),
+    }
+
+
+def _record(m, checks):
+    payload = {
+        "benchmark": "metrics_overhead",
+        "game": GAME,
+        "seed": SEED,
+        "players": PLAYERS,
+        "trace_profile": TRACE_PROFILE,
+        "fault_spec": FAULT_SPEC,
+        **{k: v for k, v in m.items() if not k.startswith("_")},
+        "acceptance": checks,
+        "cost": run_cost(),
+    }
+    write_bench("BENCH_metrics.json", payload)
+    report(
+        "BENCH_metrics_table",
+        ("mode", "unmetered s", "metered s", "overhead", "series", "alerts"),
+        [(
+            "smoke" if m["smoke"] else "full",
+            fmt(m["unmetered_s"], 3),
+            fmt(m["metered_s"], 3),
+            f"{100 * m['overhead']:+.1f}%",
+            m["series"],
+            m["alerts"],
+        )],
+        notes=f"{GAME}, {PLAYERS} players, {m['duration_s']:g}s over the "
+        f"{TRACE_PROFILE} trace with {FAULT_SPEC}; "
+        f"min of {m['repeats']} repeats; {m['samples']} sample boundaries",
+    )
+    return payload
+
+
+def main(argv=None) -> int:
+    """Standalone entry point: measure, record, verify the gates."""
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    m = run_benchmark(smoke=smoke)
+    checks = _acceptance(m)
+    _record(m, checks)
+    print()
+    for name, ok in checks.items():
+        print(f"  {name:32}: {'PASS' if ok else 'FAIL'}")
+    return 0 if all(checks.values()) else 1
+
+
+try:
+    import pytest
+except ImportError:  # standalone run without pytest installed
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="telemetry")
+    def test_metrics_overhead(benchmark):
+        """All metrics-overhead acceptance gates hold."""
+        from harness import once
+
+        m = once(benchmark, run_benchmark)
+        checks = _acceptance(m)
+        _record(m, checks)
+        assert all(checks.values()), checks
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,16 @@ Usage (the CI perf job)::
         --fresh-dir benchmarks/results --ratio-only --tolerance 0.35
 
 Baselines are re-pinned by re-running the benches on a quiet machine and
-committing the fresh artifacts over the baseline directory (see README
-"Performance gate").
+committing the refreshed artifacts::
+
+    python benchmarks/check_regression.py \
+        --update-baselines \
+        --baseline-dir benchmarks/results/smoke \
+        --fresh-dir benchmarks/results
+
+``--update-baselines`` copies every spec'd fresh artifact (validated as
+JSON first) over the baseline directory instead of comparing, then
+reports what changed; commit the result (see README "Performance gate").
 """
 
 from __future__ import annotations
@@ -65,6 +73,11 @@ SPECS = {
         ("overhead", "abs_low"),
         ("untraced_s", "wall"),
         ("traced_s", "wall"),
+    ],
+    "BENCH_metrics.json": [
+        ("overhead", "abs_low"),
+        ("unmetered_s", "wall"),
+        ("metered_s", "wall"),
     ],
     "BENCH_churn.json": [
         ("overhead", "abs_low"),
@@ -205,6 +218,38 @@ def compare_dirs(
     return results
 
 
+def update_baselines(
+    baseline_dir: Path,
+    fresh_dir: Path,
+    artifacts: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Re-pin committed baselines from a fresh bench run.
+
+    Copies each spec'd artifact present in ``fresh_dir`` over
+    ``baseline_dir`` (created if needed), validating that the fresh file
+    parses as JSON first — a half-written artifact must never become the
+    new baseline.  Returns the artifact names that were updated.
+    """
+    names = list(artifacts) if artifacts is not None else sorted(SPECS)
+    updated: List[str] = []
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        if name not in SPECS:
+            raise ValueError(f"no metric spec for {name!r}")
+        fresh_path = fresh_dir / name
+        if not fresh_path.exists():
+            continue
+        text = fresh_path.read_text()
+        try:
+            json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fresh artifact {fresh_path} is not valid "
+                             f"JSON: {exc}") from exc
+        (baseline_dir / name).write_text(text)
+        updated.append(name)
+    return updated
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns 0 (clean), 1 (regression), 2 (usage)."""
     parser = argparse.ArgumentParser(
@@ -226,10 +271,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--artifacts", nargs="*", default=None,
                         help="restrict to these artifact names (default: "
                              "every spec'd artifact with a baseline)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="re-pin: copy fresh spec'd artifacts over the "
+                             "baseline directory instead of comparing")
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         print("tolerance must be non-negative", file=sys.stderr)
         return 2
+    if args.update_baselines:
+        try:
+            updated = update_baselines(
+                args.baseline_dir, args.fresh_dir, args.artifacts
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot update baselines: {exc}", file=sys.stderr)
+            return 2
+        if not updated:
+            print("no spec'd artifacts found in "
+                  f"{args.fresh_dir} — nothing re-pinned", file=sys.stderr)
+            return 2
+        for name in updated:
+            print(f"  re-pinned {name} -> {args.baseline_dir / name}")
+        print(f"baselines updated: {len(updated)} artifact(s); "
+              "review and commit the diff")
+        return 0
     if not args.baseline_dir.is_dir():
         print(f"baseline dir {args.baseline_dir} does not exist",
               file=sys.stderr)

@@ -4,10 +4,14 @@ Four subcommands cover the everyday workflows:
 
 * ``run`` — simulate one (system, game, players) experiment and print the
   QoE/network summary; ``--trace``/``--events`` capture a sim-time trace
-  (Perfetto JSON / JSONL event log) and ``--perf`` prints the stage
-  profile table afterwards;
-* ``report`` — frame-budget attribution from a ``--events`` JSONL log:
-  per-stage p50/p95/p99 and the deadline-miss breakdown;
+  (Perfetto JSON / JSONL event log), ``--metrics``/``--openmetrics``
+  sample the sim-time metrics pipeline (JSONL series dump / OpenMetrics
+  text snapshot), ``--dashboard`` renders a live sparkline view, and
+  ``--perf`` prints the stage profile table afterwards;
+* ``report`` — frame-budget attribution from a ``--events`` JSONL log
+  (per-stage p50/p95/p99 and the deadline-miss breakdown), SLO
+  attainment from a ``--metrics`` dump, or ``--diff A B`` run-diff
+  forensics between two dumps (exit 1 on regression);
 * ``preprocess`` — run the §6 offline pipeline for a game and print the
   cutoff-scheme statistics (Table 3's columns);
 * ``games`` — list the nine study games with their published dimensions.
@@ -29,9 +33,19 @@ from .render import KERNEL_MODES
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .telemetry import (
     FrameBudgetReport,
+    LiveDashboard,
+    MetricsHub,
+    SloEngine,
     SpanTracer,
+    diff_dumps,
+    emit_slo_instants,
+    read_metrics_jsonl,
+    render_diff,
+    results_from_dump,
     write_chrome_trace,
     write_events_jsonl,
+    write_metrics_jsonl,
+    write_openmetrics,
 )
 from .world import ALL_GAMES, game_spec, load_game
 
@@ -113,17 +127,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({args.max_players})", file=sys.stderr)
         return 2
     tracer = SpanTracer() if (args.trace or args.events) else None
+    metered = bool(args.metrics or args.openmetrics or args.dashboard)
+    hub = MetricsHub() if metered else None
+    dashboard = None
+    if args.dashboard and hub is not None:
+        dashboard = LiveDashboard(hub, engine=SloEngine())
+        dashboard.attach()
     config = SessionConfig(duration_s=args.duration, seed=args.seed,
                            wifi_mbps=args.wifi_mbps,
                            impairment=impairment, faults=faults,
                            adapt=AbrConfig() if args.abr else None,
                            churn=churn, max_players=args.max_players,
-                           tracer=tracer, kernels=args.kernels)
+                           tracer=tracer, metrics=hub, kernels=args.kernels)
     if args.perf:
         with perf.timed("run.simulate"):
             result = run_system(args.system, args.game, args.players, config)
     else:
         result = run_system(args.system, args.game, args.players, config)
+    slo_results = None
+    if hub is not None:
+        horizon_ms = args.duration * 1000.0
+        if dashboard is not None:
+            slo_results = dashboard.final(horizon_ms)
+        else:
+            slo_results = SloEngine().evaluate(hub.series)
+        if tracer is not None:
+            emit_slo_instants(tracer, slo_results)
     metrics0 = result.players[0].metrics
     print(f"{args.system} on {args.game}, {args.players} player(s), "
           f"{args.duration:g}s simulated:")
@@ -191,6 +220,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             warm = sum(s.warmup_ms for s in admitted) / len(admitted)
             print(f"  join latency    : {lat:.1f} ms mean "
                   f"(warm-up {warm:.1f} ms)")
+    if hub is not None and slo_results is not None:
+        print("  -- metrics --")
+        print(f"  series          : {len(hub.series)} "
+              f"({hub.samples_taken} sample boundaries)")
+        for slo in slo_results:
+            if slo.attainment is None:
+                status = "n/a (series absent)"
+            else:
+                status = (f"{100.0 * slo.attainment:.1f} % attained, "
+                          f"worst burn {slo.worst_burn:.1f}x")
+            alerts = f", {len(slo.alerts)} alert(s)" if slo.alerts else ""
+            print(f"  slo {slo.spec.name:<18}: {status}{alerts}")
+        if args.metrics:
+            n = write_metrics_jsonl(
+                args.metrics, hub, slo_results=slo_results,
+                meta={"system": args.system, "game": args.game,
+                      "players": args.players, "seed": args.seed,
+                      "duration_s": args.duration},
+            )
+            print(f"  metrics dump    : {n} records -> {args.metrics} "
+                  f"(compare with `repro report --diff A B`)")
+        if args.openmetrics:
+            write_openmetrics(args.openmetrics, hub)
+            print(f"  openmetrics     : -> {args.openmetrics}")
     if tracer is not None:
         if args.trace:
             n = write_chrome_trace(args.trace, tracer.records)
@@ -221,7 +274,75 @@ def _kernels_summary(mode: str) -> str:
     return f"{mode} ({', '.join(parts)})"
 
 
+def _is_metrics_jsonl(path: str) -> bool:
+    """True when the file's first record looks like a metrics dump."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                return (
+                    isinstance(record, dict)
+                    and record.get("kind") in ("meta", "series",
+                                               "histogram", "slo")
+                )
+    except (OSError, ValueError):
+        return False
+    return False
+
+
+def _report_metrics(path: str) -> int:
+    """SLO attainment + worst burn windows from a metrics JSONL dump."""
+    try:
+        dump = read_metrics_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics dump: {exc}", file=sys.stderr)
+        return 2
+    meta = dump.meta or {}
+    label = " ".join(
+        str(meta[k]) for k in ("system", "game", "players") if k in meta
+    )
+    print(f"metrics dump {path}" + (f" ({label})" if label else "") + ":")
+    print(f"  series          : {len(dump.series)}")
+    for slo in results_from_dump(dump):
+        name = slo["name"]
+        if slo["attainment"] is None:
+            print(f"  slo {name:<18}: n/a (series absent)")
+            continue
+        print(f"  slo {name:<18}: {100.0 * slo['attainment']:.1f} % "
+              f"attained ({slo['compliant']}/{slo['evaluated']} windows, "
+              f"{len(slo['alerts'])} alert(s))")
+        for t_ms, burn in slo["worst"]:
+            print(f"      worst burn  : {burn:8.2f}x at t={t_ms:.0f} ms")
+    return 0
+
+
+def _report_diff(path_a: str, path_b: str) -> int:
+    """Run-diff forensics: exit 0 clean, 1 regression, 2 parse error."""
+    try:
+        dump_a = read_metrics_jsonl(path_a)
+        dump_b = read_metrics_jsonl(path_b)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics dump: {exc}", file=sys.stderr)
+        return 2
+    rows = diff_dumps(dump_a, dump_b)
+    print(render_diff(rows, path_a, path_b))
+    return 1 if any(row.regressed for row in rows) else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.diff is not None:
+        return _report_diff(*args.diff)
+    if args.events is None:
+        print("report needs an EVENTS.jsonl/METRICS.jsonl argument "
+              "or --diff A B", file=sys.stderr)
+        return 2
+    if _is_metrics_jsonl(args.events):
+        return _report_metrics(args.events)
     try:
         report = FrameBudgetReport.from_jsonl(args.events)
     except (OSError, ValueError) as exc:
@@ -306,6 +427,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Perfetto/chrome://tracing trace of the run")
     run.add_argument("--events", default=None, metavar="OUT.jsonl",
                      help="write the JSONL span log (input to `repro report`)")
+    run.add_argument("--metrics", default=None, metavar="OUT.jsonl",
+                     help="sample sim-time metrics and write the "
+                          "schema-versioned JSONL series dump "
+                          "(input to `repro report` / `report --diff`)")
+    run.add_argument("--openmetrics", default=None, metavar="OUT.txt",
+                     help="write an OpenMetrics text exposition snapshot "
+                          "of the run's final metric values")
+    run.add_argument("--dashboard", action="store_true",
+                     help="render a live terminal dashboard (sparklines + "
+                          "SLO status) while the run progresses")
     run.add_argument("--kernels", choices=KERNEL_MODES, default=None,
                      help="frame-pipeline kernel mode for both the offline "
                           "pipeline and the online hot path (default: the "
@@ -315,10 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser(
-        "report", help="frame-budget attribution from an event log"
+        "report",
+        help="frame-budget attribution from an event log, SLO summary "
+             "from a metrics dump, or a two-run metrics diff",
     )
-    rep.add_argument("events", metavar="EVENTS.jsonl",
-                     help="JSONL event log from `repro run --events`")
+    rep.add_argument("events", metavar="LOG.jsonl", nargs="?", default=None,
+                     help="JSONL event log from `repro run --events`, or a "
+                          "metrics dump from `repro run --metrics`")
+    rep.add_argument("--diff", nargs=2, metavar=("A.jsonl", "B.jsonl"),
+                     default=None,
+                     help="compare two metrics dumps; exit 1 when run B "
+                          "regresses run A beyond per-metric thresholds")
     rep.set_defaults(func=_cmd_report)
 
     pre = sub.add_parser("preprocess", help="run the offline pipeline")
@@ -341,7 +479,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error on our side.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

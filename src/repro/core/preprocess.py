@@ -136,6 +136,11 @@ class PanoramaStore:
         """Dirty-block map of the latest reuse encode (None without reuse)."""
         return None if self._encoder is None else self._encoder.last_dirty
 
+    @property
+    def memo_entries(self) -> int:
+        """Frames currently memoized in memory (metrics occupancy probe)."""
+        return len(self._memo)
+
     def frame_for(self, grid_point: GridPoint) -> StoredFrame:
         """The stored frame for a grid point (memoized)."""
         cached = self._memo.get(grid_point)

@@ -38,6 +38,7 @@ class WifiLink:
         stations: int = 1,
         impairment: Optional[LinkImpairment] = None,
         tracer=None,
+        metrics=None,
     ) -> None:
         if capacity_mbps <= 0:
             raise ValueError("capacity_mbps must be positive")
@@ -50,6 +51,23 @@ class WifiLink:
         # observational — no events are scheduled for tracing.
         self.tracer = tracer if tracer is not None and tracer.enabled else None
         self._trace_lane_ends: list = []  # per-lane last span end (tracing)
+        # Metrics hook (repro.telemetry.MetricsHub or None): per-tag byte
+        # counters mirror _tag_bytes, and a probe samples active transfers
+        # plus medium utilization at each boundary.  Also observational.
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        self._byte_counters: Dict[str, object] = {}
+        if self.metrics is not None:
+            active_gauge = self.metrics.gauge("link_active_transfers")
+            util_gauge = self.metrics.gauge("link_utilization")
+
+            def _probe() -> None:
+                active_gauge.set(float(self._medium.active_flows))
+                if self.sim.now > 0:
+                    util_gauge.set(self._medium.utilization(self.sim.now))
+
+            self.metrics.register_probe(_probe)
         self.capacity_mbps = capacity_mbps
         self.stations = stations
         self.mac_efficiency = 1.0 / (1.0 + self.MAC_CONTENTION_LOSS * (stations - 1))
@@ -87,6 +105,8 @@ class WifiLink:
             return done
         self._note_activity()
         self._tag_bytes[tag] += size_bytes
+        if self.metrics is not None:
+            self._meter_bytes(tag, size_bytes)
         megabits = size_bytes * 8.0 / MBIT
         tracer = self.tracer
         if self.impairment is None:
@@ -174,10 +194,20 @@ class WifiLink:
             raise ValueError("tag must be a non-empty string")
         self._note_activity()
         self._tag_bytes[tag] += size_bytes
+        if self.metrics is not None:
+            self._meter_bytes(tag, size_bytes)
 
     def _note_activity(self) -> None:
         if self._first_activity_ms is None:
             self._first_activity_ms = self.sim.now
+
+    def _meter_bytes(self, tag: str, size_bytes: float) -> None:
+        """Mirror per-tag byte totals into the metrics hub (cached handles)."""
+        counter = self._byte_counters.get(tag)
+        if counter is None:
+            counter = self.metrics.counter("link_bytes_total", {"tag": tag})
+            self._byte_counters[tag] = counter
+        counter.inc(size_bytes)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -134,6 +134,7 @@ class SessionSupervisor:
         config: Optional[SupervisorConfig] = None,
         pun=None,
         tracer=None,
+        metrics=None,
         horizon_ms: float = math.inf,
     ) -> None:
         if n_initial < 1:
@@ -146,6 +147,19 @@ class SessionSupervisor:
         self.config = config or SupervisorConfig()
         self.pun = pun
         self.tracer = as_tracer(tracer)
+        # Metrics hub (repro.telemetry.MetricsHub or None): membership
+        # gauges/counters updated at _transition, the single mutation
+        # point, so the series mirror the epoch log exactly.
+        self._metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        if self._metrics is not None:
+            hub = self._metrics
+            self._members_gauge = hub.gauge("members_active")
+            self._epochs_counter = hub.counter("membership_epochs_total")
+            self._suspects_counter = hub.counter("membership_suspects_total")
+            self._evictions_counter = hub.counter("membership_evictions_total")
+            self._join_latency_gauge = hub.gauge("join_latency_ms")
         self.n_initial = n_initial
         self.total_slots = total_slots
         self.horizon_ms = horizon_ms
@@ -295,6 +309,10 @@ class SessionSupervisor:
         stats = self.stats[slot]
         stats.join_latency_ms += now - self._join_requested_ms.get(slot, now)
         stats.warmup_ms += now - self._warm_started_ms.get(slot, now)
+        if self._metrics is not None:
+            self._join_latency_gauge.set(
+                now - self._join_requested_ms.get(slot, now)
+            )
         self._in_room[slot] = True
         if self.pun is not None:
             self.pun.add_player()
@@ -463,6 +481,13 @@ class SessionSupervisor:
                 cat="membership",
                 args={"epoch": self.epoch, "from": from_state, "cause": cause},
             )
+        if self._metrics is not None:
+            self._members_gauge.set(float(len(active)))
+            self._epochs_counter.set_total(float(self.epoch))
+            if to_state == SUSPECT:
+                self._suspects_counter.inc()
+            if cause == "evicted":
+                self._evictions_counter.inc()
         return event
 
     # ------------------------------------------------------------------

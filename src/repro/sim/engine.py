@@ -66,20 +66,39 @@ class Simulator:
     ``tracer`` (a :class:`repro.telemetry.SpanTracer`, or None) hooks the
     dispatch loop: every run emits a ``sim.run`` span with the dispatched
     event count, and the event-queue depth is sampled as a counter every
-    :data:`Simulator.TRACE_SAMPLE_EVERY` dispatches.  Tracing is purely
-    observational — it never schedules events or alters dispatch order —
-    and a None tracer costs one predictable branch per dispatch.
+    :data:`Simulator.TRACE_SAMPLE_EVERY` dispatches.  ``metrics`` (a
+    :class:`repro.telemetry.MetricsHub`, or None) is *pumped* from the
+    same loop — every :data:`Simulator.METRICS_PUMP_EVERY` dispatches the
+    hub gets a chance to stamp any sim-time sample boundaries the clock
+    has crossed (retroactively, at exact boundary times), and a
+    ``sim_queue_depth`` gauge probe keeps queue depth in the sampled
+    series.  Both hooks are purely observational — they never schedule
+    events or alter dispatch order — and when absent cost one
+    predictable branch per dispatch.
     """
 
     # Queue-depth counter sampling period, in dispatched events.
     TRACE_SAMPLE_EVERY = 256
+    # Metrics pump period, in dispatched events.  Samples are stamped at
+    # sim-time boundaries regardless, so this only bounds how much sim
+    # time can elapse between stamping passes, not the sample times.
+    METRICS_PUMP_EVERY = 64
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, metrics=None) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._running = False
         self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        if self.metrics is not None:
+            depth_gauge = self.metrics.gauge("sim_queue_depth")
+            queue = self._queue
+            self.metrics.register_probe(
+                lambda: depth_gauge.set(float(len(queue)))
+            )
         self.dispatched = 0
 
     # ------------------------------------------------------------------
@@ -156,6 +175,8 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         tracer = self.tracer
+        metrics = self.metrics
+        observed = tracer is not None or metrics is not None
         t_start = self.now
         dispatched = 0
         try:
@@ -163,16 +184,26 @@ class Simulator:
                 when, _seq, action = heapq.heappop(self._queue)
                 self.now = when
                 action()
-                if tracer is not None:
+                if observed:
                     dispatched += 1
-                    if dispatched % Simulator.TRACE_SAMPLE_EVERY == 0:
+                    if (
+                        tracer is not None
+                        and dispatched % Simulator.TRACE_SAMPLE_EVERY == 0
+                    ):
                         tracer.counter(
                             "sim.queue_depth", self.now, len(self._queue)
                         )
+                    if (
+                        metrics is not None
+                        and dispatched % Simulator.METRICS_PUMP_EVERY == 0
+                    ):
+                        metrics.maybe_sample(self.now)
             self.now = t_end
         finally:
             self._running = False
             self.dispatched += dispatched
+            if metrics is not None:
+                metrics.maybe_sample(self.now)
             if tracer is not None:
                 tracer.complete(
                     "sim.run", -1, "sim", t_start, self.now - t_start,
@@ -185,6 +216,8 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         tracer = self.tracer
+        metrics = self.metrics
+        observed = tracer is not None or metrics is not None
         t_start = self.now
         dispatched = 0
         try:
@@ -192,15 +225,25 @@ class Simulator:
                 when, _seq, action = heapq.heappop(self._queue)
                 self.now = when
                 action()
-                if tracer is not None:
+                if observed:
                     dispatched += 1
-                    if dispatched % Simulator.TRACE_SAMPLE_EVERY == 0:
+                    if (
+                        tracer is not None
+                        and dispatched % Simulator.TRACE_SAMPLE_EVERY == 0
+                    ):
                         tracer.counter(
                             "sim.queue_depth", self.now, len(self._queue)
                         )
+                    if (
+                        metrics is not None
+                        and dispatched % Simulator.METRICS_PUMP_EVERY == 0
+                    ):
+                        metrics.maybe_sample(self.now)
         finally:
             self._running = False
             self.dispatched += dispatched
+            if metrics is not None:
+                metrics.maybe_sample(self.now)
             if tracer is not None:
                 tracer.complete(
                     "sim.run", -1, "sim", t_start, self.now - t_start,

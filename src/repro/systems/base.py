@@ -34,7 +34,7 @@ from ..net import ImpairmentConfig, LinkImpairment, PunChannel, WifiLink
 from ..render import KERNEL_MODES, PIXEL2, DeviceProfile, RenderConfig, RenderCostModel
 from ..session import MembershipSummary, SessionSupervisor, SupervisorConfig
 from ..sim import Simulator
-from ..telemetry import as_tracer
+from ..telemetry import LATENCY_BUCKETS_MS, as_hub, as_tracer
 from ..trace import Trajectory, generate_party
 from ..world.games import GameWorld
 
@@ -82,6 +82,11 @@ class SessionConfig:
     # online path.  Purely observational: a traced run produces the same
     # metrics as an untraced one (asserted by bench_trace_overhead).
     tracer: Optional[object] = None
+    # A repro.telemetry.MetricsHub sampling counters/gauges/histograms on
+    # a sim-time cadence across the engine, link, caches, frame loops,
+    # ABR, and supervisor.  Same contract as the tracer: observational
+    # only, bit-identical results (asserted by bench_metrics_overhead).
+    metrics: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -201,6 +206,42 @@ class RunResult:
         return self.be_mbps / self.n_players
 
 
+class _PlayerMeter:
+    """Cached per-player instrument handles for the frame-loop hot path.
+
+    Built lazily on a player's first metered frame so late joiners and
+    never-admitted slots cost nothing; holding the handles here keeps
+    :meth:`Session.meter_frame` free of registry lookups.
+    """
+
+    __slots__ = (
+        "interval_hist", "render_hist", "net_hist", "responsiveness_hist",
+        "margin_gauge", "delivery_gauge", "crf_gauge", "degraded_gauge",
+        "abr_drops", "abr_steps",
+    )
+
+    def __init__(self, hub, player_id: int) -> None:
+        labels = {"player": str(player_id)}
+        self.interval_hist = hub.histogram(
+            "frame_interval_ms", labels, edges=LATENCY_BUCKETS_MS
+        )
+        self.render_hist = hub.histogram(
+            "stage_render_ms", labels, edges=LATENCY_BUCKETS_MS
+        )
+        self.net_hist = hub.histogram(
+            "stage_net_ms", labels, edges=LATENCY_BUCKETS_MS
+        )
+        self.responsiveness_hist = hub.histogram(
+            "responsiveness_ms", labels, edges=LATENCY_BUCKETS_MS
+        )
+        self.margin_gauge = hub.gauge("deadline_margin_ms", labels)
+        self.delivery_gauge = hub.gauge("delivery_rate_mbps", labels)
+        self.crf_gauge = hub.gauge("abr_crf", labels)
+        self.degraded_gauge = hub.gauge("abr_degraded", labels)
+        self.abr_drops = hub.counter("abr_drops_total", labels)
+        self.abr_steps = hub.counter("abr_steps_total", labels)
+
+
 class Session:
     """Simulation context shared by one run's player processes."""
 
@@ -211,7 +252,8 @@ class Session:
         self.n_players = n_players
         self.config = config
         self.tracer = as_tracer(config.tracer)
-        self.sim = Simulator(tracer=self.tracer)
+        self.hub = as_hub(config.metrics)
+        self.sim = Simulator(tracer=self.tracer, metrics=self.hub)
         self.faults = FaultInjector(config.faults) if config.faults else None
         self.link = WifiLink(
             self.sim,
@@ -220,6 +262,7 @@ class Session:
             stations=n_players,
             impairment=self._build_impairment(),
             tracer=self.tracer,
+            metrics=self.hub,
         )
         self.pun = PunChannel(
             self.sim, self.link, n_players, seed=config.seed + 77
@@ -256,7 +299,23 @@ class Session:
                 config=config.supervisor_config(),
                 pun=self.pun,
                 tracer=self.tracer,
+                metrics=self.hub,
                 horizon_ms=self.horizon_ms,
+            )
+        # Session-wide metering: unlabeled totals the SLO engine's ratio
+        # objectives divide (per-player detail lives in _PlayerMeter).
+        self._meters: dict = {}
+        if self.hub.enabled:
+            hub = self.hub
+            self._frames_total = hub.counter("frames_total")
+            self._misses_total = hub.counter("deadline_misses_total")
+            self._drops_total = hub.counter("frames_dropped_total")
+            self._stales_total = hub.counter("stale_frames_total")
+            self._ssim_gauge = hub.gauge("displayed_ssim")
+            pun = self.pun
+            pun_gauge = hub.gauge("pun_players")
+            hub.register_probe(
+                lambda: pun_gauge.set(float(pun.n_players))
             )
 
     def _build_impairment(self) -> Optional[LinkImpairment]:
@@ -445,6 +504,93 @@ class Session:
             "outage", player_id, "frame", start_ms, end_ms - start_ms,
             cat="fault", args={"fault": "outage"},
         )
+
+    # ------------------------------------------------------------------
+    # Metrics emitters (call only when ``self.hub.enabled`` — the system
+    # loops guard, so the disabled path never reaches these)
+    # ------------------------------------------------------------------
+
+    def meter_frame(self, player_id: int, record: FrameRecord) -> None:
+        """Meter one displayed frame into the hub and pump sampling.
+
+        Stage latencies land in per-player histograms, outcomes bump the
+        session-wide SLO counters, and the hub gets a sampling pass at
+        the *current* sim time (``record.t_ms`` is the future display
+        stamp; sampling off it would stamp boundaries not yet reached).
+        """
+        hub = self.hub
+        meter = self._meters.get(player_id)
+        if meter is None:
+            meter = self._meters[player_id] = _PlayerMeter(hub, player_id)
+        meter.interval_hist.observe(record.interval_ms)
+        meter.render_hist.observe(record.render_ms)
+        meter.responsiveness_hist.observe(record.responsiveness_ms)
+        self._frames_total.inc()
+        if record.deadline_missed:
+            self._misses_total.inc()
+        if record.dropped:
+            self._drops_total.inc()
+        if record.stale_age_ms is not None:
+            self._stales_total.inc()
+        if record.displayed_ssim is not None:
+            self._ssim_gauge.set(record.displayed_ssim)
+        if record.frame_bytes > 0:
+            meter.net_hist.observe(record.net_delay_ms)
+            meter.margin_gauge.set(
+                self.prefetch_deadline_ms() - record.net_delay_ms
+            )
+            if record.net_delay_ms > 0:
+                meter.delivery_gauge.set(
+                    record.frame_bytes * 8.0 / 1000.0 / record.net_delay_ms
+                )
+        if self.abr is not None:
+            controller = self.abr[player_id]
+            meter.crf_gauge.set(controller.crf)
+            meter.degraded_gauge.set(1.0 if controller.degraded else 0.0)
+            meter.abr_drops.set_total(float(controller.drops))
+            meter.abr_steps.set_total(
+                float(controller.steps_down + controller.steps_up)
+            )
+        hub.maybe_sample(self.sim.now)
+
+    def meter_cache(self, player_id: int, cache) -> None:
+        """Register hit/miss/occupancy probes for a player's frame cache.
+
+        Probe-based so the cache itself needs no metrics plumbing: the
+        hub reads ``cache.stats`` at each sample boundary only.
+        """
+        hub = self.hub
+        labels = {"player": str(player_id)}
+        hits = hub.counter("cache_hits_total", labels)
+        misses = hub.counter("cache_misses_total", labels)
+        evictions = hub.counter("cache_evictions_total", labels)
+        ratio = hub.gauge("cache_hit_ratio", labels)
+        occupancy = hub.gauge("cache_occupancy_bytes", labels)
+        entries = hub.gauge("cache_entries", labels)
+
+        def probe() -> None:
+            stats = cache.stats
+            hits.set_total(float(stats.hits))
+            misses.set_total(float(stats.misses))
+            evictions.set_total(float(stats.evictions))
+            if stats.lookups:
+                ratio.set(stats.hit_ratio)
+            occupancy.set(float(cache.used_bytes))
+            entries.set(float(len(cache)))
+
+        hub.register_probe(probe)
+
+    def meter_store(self, store) -> None:
+        """Register render/occupancy probes for the shared panorama store."""
+        hub = self.hub
+        renders = hub.counter("store_renders_total")
+        memo = hub.gauge("store_memo_entries")
+
+        def probe() -> None:
+            renders.set_total(float(store.renders))
+            memo.set(float(store.memo_entries))
+
+        hub.register_probe(probe)
 
     def init_abr(self, nominal_bytes: float) -> Optional[List[AbrController]]:
         """Seat one ABR controller per slot (no-op when adapt is off).

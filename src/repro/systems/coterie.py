@@ -138,6 +138,10 @@ def run_coterie(
             arena=FrameArena() if config.render_config.reuse_enabled else None,
             batch_target=64,
         )
+    if session.hub.enabled:
+        for player_id, cache in enumerate(caches):
+            session.meter_cache(player_id, cache)
+        session.meter_store(store)
     if tracer.enabled:
         for player_id, cache in enumerate(caches):
             cache.tracer = tracer
@@ -502,21 +506,22 @@ def run_coterie(
                             ssim_job = (displayed, reference)
             frame_counters[player_id] += 1
 
-            collector.add(
-                FrameRecord(
-                    t_ms=t0 + interval,
-                    interval_ms=interval,
-                    render_ms=timings.render_ms - timings.setup_ms + timings.merge_ms,
-                    responsiveness_ms=timings.split_render_ms() + SENSOR_SCANOUT_MS,
-                    net_delay_ms=transfer_ms,
-                    frame_bytes=frame_bytes,
-                    cache_hit=not decision.needs_fetch if use_cache else None,
-                    displayed_ssim=displayed_ssim,
-                    deadline_missed=deadline_missed,
-                    stale_age_ms=stale_age_ms,
-                    dropped=dropped,
-                )
+            record = FrameRecord(
+                t_ms=t0 + interval,
+                interval_ms=interval,
+                render_ms=timings.render_ms - timings.setup_ms + timings.merge_ms,
+                responsiveness_ms=timings.split_render_ms() + SENSOR_SCANOUT_MS,
+                net_delay_ms=transfer_ms,
+                frame_bytes=frame_bytes,
+                cache_hit=not decision.needs_fetch if use_cache else None,
+                displayed_ssim=displayed_ssim,
+                deadline_missed=deadline_missed,
+                stale_age_ms=stale_age_ms,
+                dropped=dropped,
             )
+            collector.add(record)
+            if session.hub.enabled:
+                session.meter_frame(player_id, record)
             if ssim_job is not None:
                 # The record was added with displayed_ssim=None; the flush
                 # callback patches the score in by index (FrameRecord is

@@ -37,14 +37,15 @@ def run_mobile(world: GameWorld, n_players: int, config: SessionConfig) -> RunRe
             # the display shows frames as they complete (sub-60 FPS).
             interval = max(render_ms, 1000.0 / 60.0)
             session.pun.tick()
-            session.collectors[player_id].add(
-                FrameRecord(
-                    t_ms=t0 + interval,
-                    interval_ms=interval,
-                    render_ms=render_ms,
-                    responsiveness_ms=render_ms + SENSOR_SCANOUT_MS,
-                )
+            record = FrameRecord(
+                t_ms=t0 + interval,
+                interval_ms=interval,
+                render_ms=render_ms,
+                responsiveness_ms=render_ms + SENSOR_SCANOUT_MS,
             )
+            session.collectors[player_id].add(record)
+            if session.hub.enabled:
+                session.meter_frame(player_id, record)
             if tracer.enabled:
                 session.trace_sequential_frame(
                     player_id, frame_index, t0, (("render", render_ms),),

@@ -66,6 +66,10 @@ def run_multi_furion(
     ]
 
     tracer = session.tracer
+    if session.hub.enabled:
+        for player_id, cache in enumerate(caches):
+            if cache is not None:
+                session.meter_cache(player_id, cache)
     if tracer.enabled:
         for player_id, cache in enumerate(caches):
             if cache is not None:
@@ -189,19 +193,20 @@ def run_multi_furion(
                 setup_ms=config.device.setup_ms,
             )
             interval = frame_interval_ms(timings)
-            session.collectors[player_id].add(
-                FrameRecord(
-                    t_ms=t0 + interval,
-                    interval_ms=interval,
-                    render_ms=timings.render_ms - timings.setup_ms + timings.merge_ms,
-                    responsiveness_ms=timings.split_render_ms() + SENSOR_SCANOUT_MS,
-                    net_delay_ms=transfer_ms,
-                    frame_bytes=frame_bytes,
-                    cache_hit=(hit is not None) if cache is not None else None,
-                    stale_age_ms=stale_age_ms,
-                    dropped=dropped,
-                )
+            record = FrameRecord(
+                t_ms=t0 + interval,
+                interval_ms=interval,
+                render_ms=timings.render_ms - timings.setup_ms + timings.merge_ms,
+                responsiveness_ms=timings.split_render_ms() + SENSOR_SCANOUT_MS,
+                net_delay_ms=transfer_ms,
+                frame_bytes=frame_bytes,
+                cache_hit=(hit is not None) if cache is not None else None,
+                stale_age_ms=stale_age_ms,
+                dropped=dropped,
             )
+            session.collectors[player_id].add(record)
+            if session.hub.enabled:
+                session.meter_frame(player_id, record)
             if supervisor is not None:
                 supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:

@@ -154,18 +154,19 @@ def run_thin_client(
             if not dropped:
                 last_frame_ms = t0 + interval
             session.pun.tick()
-            session.collectors[player_id].add(
-                FrameRecord(
-                    t_ms=t0 + interval,
-                    interval_ms=interval,
-                    render_ms=1.0,  # phone GPU only composites the stream
-                    responsiveness_ms=latency + SENSOR_SCANOUT_MS,
-                    net_delay_ms=transfer_ms,
-                    frame_bytes=frame_bytes,
-                    stale_age_ms=stale_age_ms,
-                    dropped=dropped,
-                )
+            record = FrameRecord(
+                t_ms=t0 + interval,
+                interval_ms=interval,
+                render_ms=1.0,  # phone GPU only composites the stream
+                responsiveness_ms=latency + SENSOR_SCANOUT_MS,
+                net_delay_ms=transfer_ms,
+                frame_bytes=frame_bytes,
+                stale_age_ms=stale_age_ms,
+                dropped=dropped,
             )
+            session.collectors[player_id].add(record)
+            if session.hub.enabled:
+                session.meter_frame(player_id, record)
             if supervisor is not None:
                 supervisor.note_frame(player_id, t0 + interval)
             if tracer.enabled:

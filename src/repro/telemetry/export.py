@@ -87,11 +87,11 @@ def to_chrome_trace(records: Sequence[Span]) -> List[Dict[str, Any]]:
         pid = _pid(player)
         events.append({
             "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
-            "args": {"name": _process_name(player)},
+            "ts": 0, "args": {"name": _process_name(player)},
         })
         events.append({
             "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
-            "args": {"sort_index": pid},
+            "ts": 0, "args": {"sort_index": pid},
         })
         for tid, lane in enumerate(
             sorted(lanes_by_player[player], key=_lane_sort_key)
@@ -99,11 +99,11 @@ def to_chrome_trace(records: Sequence[Span]) -> List[Dict[str, Any]]:
             tid_map[(player, lane)] = tid
             events.append({
                 "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
-                "args": {"name": lane},
+                "ts": 0, "args": {"name": lane},
             })
             events.append({
-                "ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
-                "args": {"sort_index": tid},
+                "ph": "M", "name": "thread_sort_index", "pid": pid,
+                "tid": tid, "ts": 0, "args": {"sort_index": tid},
             })
     for r in records:
         pid = _pid(r.player)
@@ -206,18 +206,33 @@ def read_events_jsonl(path: Union[str, Path]) -> List[Span]:
 
 
 def validate_chrome_trace(events: Iterable[Dict[str, Any]]) -> None:
-    """Assert the minimal Chrome trace-event contract (tests, benches).
+    """Assert the Chrome trace-event contract (tests, benches).
 
-    Every event must carry a ``ph`` and ``pid``; complete events must
-    carry numeric ``ts``/``dur``/``tid`` and a name.  Raises ValueError
-    on the first violation.
+    Every event — metadata included — must carry ``ph``, numeric ``ts``,
+    and integer ``pid``/``tid``; complete events additionally need a
+    numeric ``dur`` and a name; counter series must be monotone in
+    ``ts`` per (pid, name).  Raises ValueError on the first violation.
     """
+    counter_ts: Dict[tuple, float] = {}
     for i, ev in enumerate(events):
-        if "ph" not in ev or "pid" not in ev:
-            raise ValueError(f"event {i} lacks ph/pid: {ev!r}")
+        if "ph" not in ev:
+            raise ValueError(f"event {i} lacks ph: {ev!r}")
+        if not isinstance(ev.get("ts"), (int, float)):
+            raise ValueError(f"event {i} ts not numeric: {ev!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"event {i} {key} not an int: {ev!r}")
         if ev["ph"] == "X":
-            for key in ("ts", "dur"):
-                if not isinstance(ev.get(key), (int, float)):
-                    raise ValueError(f"event {i} {key} not numeric: {ev!r}")
-            if not isinstance(ev.get("tid"), int) or not ev.get("name"):
-                raise ValueError(f"event {i} lacks tid/name: {ev!r}")
+            if not isinstance(ev.get("dur"), (int, float)):
+                raise ValueError(f"event {i} dur not numeric: {ev!r}")
+            if not ev.get("name"):
+                raise ValueError(f"event {i} lacks name: {ev!r}")
+        elif ev["ph"] == "C":
+            key = (ev["pid"], ev.get("name"))
+            last = counter_ts.get(key)
+            if last is not None and ev["ts"] < last:
+                raise ValueError(
+                    f"event {i} counter {key} not monotone in ts: "
+                    f"{ev['ts']} < {last}"
+                )
+            counter_ts[key] = ev["ts"]

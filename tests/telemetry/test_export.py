@@ -79,6 +79,50 @@ class TestChromeTrace:
             )
 
 
+class TestChromeTraceSchema:
+    """Every exported event satisfies the trace-event schema invariants."""
+
+    def test_every_event_carries_ph_ts_pid_tid(self, tmp_path):
+        out = tmp_path / "trace.json"
+        write_chrome_trace(out, small_trace().records)
+        events = json.load(out.open())
+        for ev in events:
+            assert "ph" in ev, ev
+            assert isinstance(ev["ts"], (int, float)), ev
+            assert isinstance(ev["pid"], int), ev
+            assert isinstance(ev["tid"], int), ev
+
+    def test_counter_series_monotone_in_ts(self):
+        tracer = SpanTracer()
+        for i, t in enumerate([1.0, 2.0, 5.0, 9.0]):
+            tracer.counter("sim.queue_depth", t, i)
+        events = to_chrome_trace(tracer.records)
+        series = [
+            ev["ts"] for ev in events
+            if ev["ph"] == "C" and ev["name"] == "sim.queue_depth"
+        ]
+        assert series == sorted(series)
+        validate_chrome_trace(events)  # must not raise
+
+    def test_validator_rejects_non_monotone_counter(self):
+        events = to_chrome_trace(small_trace().records)
+        counters = [ev for ev in events if ev["ph"] == "C"]
+        assert counters, "fixture must include a counter event"
+        broken = events + [dict(counters[0], ts=counters[0]["ts"] - 1.0)]
+        with pytest.raises(ValueError, match="monotone"):
+            validate_chrome_trace(broken)
+
+    def test_validator_rejects_missing_pid_tid(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([{"ph": "i", "ts": 0.0, "tid": 0}])
+        with pytest.raises(ValueError):
+            validate_chrome_trace([{"ph": "i", "ts": 0.0, "pid": 0}])
+
+    def test_metadata_events_carry_ts(self):
+        events = to_chrome_trace(small_trace().records)
+        assert all("ts" in ev for ev in events if ev["ph"] == "M")
+
+
 class TestEventsJsonl:
     def test_roundtrip_preserves_records(self, tmp_path):
         tracer = small_trace()

@@ -22,6 +22,7 @@ from check_regression import (  # noqa: E402
     compare_metric,
     lookup,
     main,
+    update_baselines,
 )
 
 KERNELS_BASE = {
@@ -276,3 +277,74 @@ class TestOnlineBenchSpec:
         (fresh / "BENCH_online.json").write_text(json.dumps(bad))
         assert run_gate(baseline, fresh, "--ratio-only", "--artifacts",
                         "BENCH_online.json") == 1
+
+
+class TestUpdateBaselines:
+    """``--update-baselines`` re-pins committed baselines from fresh runs."""
+
+    def test_copies_fresh_artifacts_over_baselines(self, tmp_path):
+        baseline, fresh = write_dirs(
+            tmp_path,
+            fresh_mutation=lambda docs: docs["BENCH_trace.json"].update(
+                overhead=0.04
+            ),
+        )
+        updated = update_baselines(baseline, fresh)
+        assert "BENCH_trace.json" in updated
+        repinned = json.loads((baseline / "BENCH_trace.json").read_text())
+        assert repinned["overhead"] == 0.04
+        # After re-pinning, the gate is clean again.
+        assert run_gate(baseline, fresh) == 0
+
+    def test_creates_missing_baseline_dir(self, tmp_path):
+        _, fresh = write_dirs(tmp_path)
+        target = tmp_path / "new" / "baselines"
+        updated = update_baselines(target, fresh)
+        assert updated
+        assert (target / "BENCH_kernels.json").exists()
+
+    def test_refuses_corrupt_fresh_artifact(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        (fresh / "BENCH_trace.json").write_text("{ not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            update_baselines(baseline, fresh)
+
+    def test_cli_flag_reports_and_exits_zero(self, tmp_path, capsys):
+        baseline, fresh = write_dirs(
+            tmp_path,
+            fresh_mutation=lambda docs: docs["BENCH_kernels.json"][
+                "speedup"
+            ].update(vector=9.9),
+        )
+        assert run_gate(baseline, fresh, "--update-baselines") == 0
+        out = capsys.readouterr().out
+        assert "re-pinned" in out
+        doc = json.loads((baseline / "BENCH_kernels.json").read_text())
+        assert doc["speedup"]["vector"] == 9.9
+
+    def test_cli_flag_respects_artifact_restriction(self, tmp_path, capsys):
+        baseline, fresh = write_dirs(
+            tmp_path,
+            fresh_mutation=lambda docs: docs["BENCH_trace.json"].update(
+                overhead=0.9
+            ),
+        )
+        assert run_gate(baseline, fresh, "--update-baselines",
+                        "--artifacts", "BENCH_kernels.json") == 0
+        capsys.readouterr()
+        untouched = json.loads((baseline / "BENCH_trace.json").read_text())
+        assert untouched["overhead"] == TRACE_BASE["overhead"]
+
+    def test_cli_flag_with_nothing_to_pin_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert run_gate(tmp_path / "base", empty, "--update-baselines") == 2
+        assert "nothing re-pinned" in capsys.readouterr().err
+
+    def test_unknown_artifact_name_is_usage_error(self, tmp_path, capsys):
+        _, fresh = write_dirs(tmp_path)
+        assert run_gate(tmp_path / "base", fresh, "--update-baselines",
+                        "--artifacts", "BENCH_bogus.json") == 2
+        assert "no metric spec" in capsys.readouterr().err

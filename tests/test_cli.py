@@ -195,3 +195,90 @@ class TestTelemetryCommands:
         assert main(["run", "mobile", "pool", "1", "--duration", "2"]) == 0
         out = capsys.readouterr().out
         assert "p95" in out and "p99" in out
+
+
+class TestMetricsCli:
+    """``run --metrics/--openmetrics/--dashboard`` and ``report`` on dumps."""
+
+    def _dump(self, tmp_path, name="m.jsonl"):
+        path = tmp_path / name
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--metrics", str(path)]) == 0
+        return path
+
+    def test_run_writes_metrics_and_openmetrics(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        om = tmp_path / "om.txt"
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--metrics", str(metrics),
+                     "--openmetrics", str(om)]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out
+        assert "slo deadline_miss_rate" in out
+        from repro.telemetry import read_metrics_jsonl
+
+        dump = read_metrics_jsonl(metrics)
+        assert "frames_total" in dump.series
+        assert any(s["name"] == "deadline_miss_rate" for s in dump.slos)
+        assert om.read_text().endswith("# EOF\n")
+
+    def test_run_dashboard_renders_frames(self, tmp_path, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--dashboard"]) == 0
+        out = capsys.readouterr().out
+        assert "sim t=" in out
+        assert "frames_total" in out
+        assert "slo deadline_miss_rate" in out
+
+    def test_report_on_metrics_dump_prints_slo_attainment(
+        self, tmp_path, capsys
+    ):
+        path = self._dump(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics dump" in out
+        assert "slo deadline_miss_rate" in out
+        assert "worst burn" in out
+
+    def test_diff_identical_runs_exits_zero(self, tmp_path, capsys):
+        a = self._dump(tmp_path, "a.jsonl")
+        b = self._dump(tmp_path, "b.jsonl")
+        capsys.readouterr()
+        assert main(["report", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_diff_flags_injected_regression(self, tmp_path, capsys):
+        import json
+
+        a = self._dump(tmp_path, "a.jsonl")
+        b = tmp_path / "b.jsonl"
+        # Inject a regression: halve the final frames_total sample.
+        lines = []
+        for line in a.read_text().splitlines():
+            record = json.loads(line)
+            if (record.get("kind") == "series"
+                    and record["name"] == "frames_total"):
+                record["samples"] = [
+                    [t, v * 0.5] for t, v in record["samples"]
+                ]
+            lines.append(json.dumps(record))
+        b.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["report", "--diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "frames_total" in out and "FAIL" in out
+
+    def test_diff_parse_error_exits_two(self, tmp_path, capsys):
+        a = self._dump(tmp_path)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", "--diff", str(a), str(bad)]) == 2
+        assert "cannot read metrics dump" in capsys.readouterr().err
+        assert main(["report", "--diff", str(a),
+                     str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_report_without_arguments_is_usage_error(self, capsys):
+        assert main(["report"]) == 2
+        assert "--diff" in capsys.readouterr().err
