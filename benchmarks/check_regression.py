@@ -84,6 +84,13 @@ SPECS = {
         ("plain_s", "wall"),
         ("supervised_s", "wall"),
     ],
+    # Speculation must keep improving the hit ratio on most trajectory
+    # genres (the deterministic genre count is noise-immune), and the
+    # desync validator must never false-alarm on a clean run.
+    "BENCH_prediction.json": [
+        ("improvement.genres_improved", "ratio_high"),
+        ("clean.desync_alarms", "abs_low"),
+    ],
     # Deadline-miss rates are fractions in [0, 1]; the additive abs_low
     # band keeps adaptive Coterie from quietly sliding back toward the
     # fixed-CRF miss rates under any committed trace.

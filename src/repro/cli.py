@@ -29,7 +29,9 @@ from . import perf
 from .adapt import AbrConfig
 from .faults import ChurnSchedule, FaultSchedule
 from .net import TRACE_PROFILES, ImpairmentConfig, RateTrace
+from .predict import PredictConfig
 from .render import KERNEL_MODES
+from .session import SyncConfig
 from .systems import SYSTEMS, SessionConfig, prepare_artifacts, run_system
 from .telemetry import (
     FrameBudgetReport,
@@ -126,6 +128,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"players ({args.players}) exceeds --max-players "
               f"({args.max_players})", file=sys.stderr)
         return 2
+    if (args.predict or args.sync_check) and args.system != "coterie":
+        print("--predict/--sync-check require the coterie system "
+              "(frame cache + PUN sync channel)", file=sys.stderr)
+        return 2
+    if args.predict_horizon is not None and not args.predict:
+        print("--predict-horizon requires --predict", file=sys.stderr)
+        return 2
+    predict = None
+    if args.predict:
+        try:
+            predict = (PredictConfig() if args.predict_horizon is None
+                       else PredictConfig(horizon_frames=args.predict_horizon))
+        except ValueError as exc:
+            print(f"invalid --predict-horizon: {exc}", file=sys.stderr)
+            return 2
+    sync = SyncConfig() if args.sync_check else None
+    if args.verify_determinism:
+        return _verify_determinism(args, impairment, faults, churn,
+                                   predict, sync)
     tracer = SpanTracer() if (args.trace or args.events) else None
     metered = bool(args.metrics or args.openmetrics or args.dashboard)
     hub = MetricsHub() if metered else None
@@ -138,6 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            impairment=impairment, faults=faults,
                            adapt=AbrConfig() if args.abr else None,
                            churn=churn, max_players=args.max_players,
+                           predict=predict, sync=sync,
                            tracer=tracer, metrics=hub, kernels=args.kernels)
     if args.perf:
         with perf.timed("run.simulate"):
@@ -199,6 +221,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"(time-weighted CRF {mean_crf:.1f})")
         print(f"  frame drops     : {drops} ({100 * drop_rate:.1f} % of frames)")
         print(f"  degraded time   : {degraded:.0f} ms/player below base quality")
+    if config.predict is not None:
+        metrics = [p.metrics for p in result.players]
+        forecasts = sum(m.spec_predictions for m in metrics)
+        prefetches = sum(m.spec_prefetches for m in metrics)
+        confirms = sum(m.spec_confirms for m in metrics)
+        rollbacks = sum(m.spec_rollbacks for m in metrics)
+        expired = sum(m.spec_expired for m in metrics)
+        mispredicted = sum(m.spec_mispredictions for m in metrics)
+        print("  -- speculation --")
+        print(f"  pose forecasts  : {forecasts} "
+              f"({mispredicted} beyond confidence radius)")
+        print(f"  spec prefetches : {prefetches} "
+              f"({confirms} confirmed, {rollbacks} rolled back, "
+              f"{expired} expired)")
+    if config.sync is not None:
+        metrics = [p.metrics for p in result.players]
+        alarms = sum(m.desync_alarms for m in metrics)
+        resyncs = sum(m.resyncs for m in metrics)
+        detect = max((m.desync_detection_ms for m in metrics), default=0.0)
+        recover = sum(m.resync_recovery_ms for m in metrics)
+        print("  -- sync check --")
+        print(f"  desync alarms   : {alarms} "
+              f"(worst detection {detect:.1f} ms)")
+        print(f"  resyncs         : {resyncs} "
+              f"(recovery {recover:.1f} ms total)")
     if result.membership is not None:
         member = result.membership
         print("  -- membership --")
@@ -259,6 +306,78 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _first_divergence(a, b) -> Optional[str]:
+    """First observable difference between two RunResults, or None.
+
+    Compares the roster shape, every player's SessionMetrics field by
+    field, the raw FrameRecord timelines, the aggregate traffic counters,
+    and the membership summary — the full determinism surface a run
+    exposes.  Returns a one-line human-readable description of the first
+    mismatch found.
+    """
+    if len(a.players) != len(b.players):
+        return (f"player count differs: {len(a.players)} vs "
+                f"{len(b.players)}")
+    for pa, pb in zip(a.players, b.players):
+        if pa.metrics != pb.metrics:
+            for field in dataclasses.fields(pa.metrics):
+                va = getattr(pa.metrics, field.name)
+                vb = getattr(pb.metrics, field.name)
+                if va != vb:
+                    return (f"player {pa.player_id} metrics.{field.name}: "
+                            f"{va!r} vs {vb!r}")
+        if pa.records != pb.records:
+            for i, (ra, rb) in enumerate(zip(pa.records, pb.records)):
+                if ra != rb:
+                    return (f"player {pa.player_id} frame {i} "
+                            f"(t={ra.t_ms:.3f} ms): {ra!r} vs {rb!r}")
+            return (f"player {pa.player_id} frame count: "
+                    f"{len(pa.records)} vs {len(pb.records)}")
+        if pa.fetches != pb.fetches:
+            return (f"player {pa.player_id} fetches: "
+                    f"{pa.fetches} vs {pb.fetches}")
+    if a.be_mbps != b.be_mbps:
+        return f"be_mbps: {a.be_mbps!r} vs {b.be_mbps!r}"
+    if a.fi_kbps != b.fi_kbps:
+        return f"fi_kbps: {a.fi_kbps!r} vs {b.fi_kbps!r}"
+    if repr(a.membership) != repr(b.membership):
+        return f"membership: {a.membership!r} vs {b.membership!r}"
+    return None
+
+
+def _verify_determinism(args, impairment, faults, churn, predict, sync) -> int:
+    """Run the experiment twice and fail loudly on any bit divergence.
+
+    Both runs use identical configs with tracing/metrics disabled (those
+    are observers, not state).  Exit 0 when every per-player metric,
+    frame record, and aggregate counter is bit-identical; exit 1 with a
+    first-divergence report otherwise.
+    """
+    def make_config() -> SessionConfig:
+        return SessionConfig(
+            duration_s=args.duration, seed=args.seed,
+            wifi_mbps=args.wifi_mbps, impairment=impairment,
+            faults=faults, adapt=AbrConfig() if args.abr else None,
+            churn=churn, max_players=args.max_players,
+            predict=predict, sync=sync, kernels=args.kernels,
+        )
+
+    label = f"{args.system} on {args.game}, {args.players} player(s), " \
+            f"{args.duration:g}s, seed {args.seed}"
+    print(f"determinism check: {label}")
+    result_a = run_system(args.system, args.game, args.players, make_config())
+    result_b = run_system(args.system, args.game, args.players, make_config())
+    divergence = _first_divergence(result_a, result_b)
+    frames = sum(len(p.records) for p in result_a.players)
+    if divergence is not None:
+        print(f"  run 1 vs run 2 DIVERGED: {divergence}", file=sys.stderr)
+        return 1
+    print(f"  run 1 == run 2: {len(result_a.players)} player(s), "
+          f"{frames} frame records, BE {result_a.be_mbps:.6f} Mbps, "
+          f"FI {result_a.fi_kbps:.6f} Kbps -- bit-identical")
+    return 0
+
+
 def _kernels_summary(mode: str) -> str:
     """One-line frame-pipeline kernel summary from the perf registry.
 
@@ -302,6 +421,10 @@ def _report_metrics(path: str) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read metrics dump: {exc}", file=sys.stderr)
         return 2
+    if not dump.series:
+        print(f"metrics dump {path} has no series records "
+              "(empty or truncated dump)", file=sys.stderr)
+        return 2
     meta = dump.meta or {}
     label = " ".join(
         str(meta[k]) for k in ("system", "game", "players") if k in meta
@@ -341,12 +464,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("report needs an EVENTS.jsonl/METRICS.jsonl argument "
               "or --diff A B", file=sys.stderr)
         return 2
+    try:
+        with open(args.events, "r", encoding="utf-8") as fh:
+            has_records = any(line.strip() for line in fh)
+    except OSError as exc:
+        print(f"cannot read event log: {exc}", file=sys.stderr)
+        return 2
+    if not has_records:
+        print(f"event log {args.events} is empty (no records)",
+              file=sys.stderr)
+        return 2
     if _is_metrics_jsonl(args.events):
         return _report_metrics(args.events)
     try:
         report = FrameBudgetReport.from_jsonl(args.events)
     except (OSError, ValueError) as exc:
         print(f"cannot read event log: {exc}", file=sys.stderr)
+        return 2
+    if not report.frames:
+        print(f"event log {args.events} contains no frame spans "
+              "(truncated run or wrong file?)", file=sys.stderr)
         return 2
     print(report.render())
     return 0
@@ -423,6 +560,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--abr", action="store_true",
                      help="enable the closed-loop adaptation controller "
                           "(CRF ladder, prefetch throttling, frame drops)")
+    run.add_argument("--predict", action="store_true",
+                     help="enable speculative pose-prediction prefetch "
+                          "with digest-checked rollback (coterie only)")
+    run.add_argument("--predict-horizon", type=int, default=None,
+                     metavar="FRAMES",
+                     help="pose-forecast lookahead in frames "
+                          "(default 6; requires --predict)")
+    run.add_argument("--sync-check", action="store_true",
+                     help="run the cross-peer desync validator: exchange "
+                          "deterministic state hashes on a fixed cadence "
+                          "and resync on mismatch (coterie only)")
+    run.add_argument("--verify-determinism", action="store_true",
+                     help="run the experiment twice and exit 1 with a "
+                          "first-divergence report unless both runs are "
+                          "bit-identical")
     run.add_argument("--trace", default=None, metavar="OUT.json",
                      help="write a Perfetto/chrome://tracing trace of the run")
     run.add_argument("--events", default=None, metavar="OUT.jsonl",

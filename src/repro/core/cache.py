@@ -51,6 +51,12 @@ class CachedFrame:
     inserted_ms: float
     last_used_ms: float
     origin_player: int = -1  # who prefetched it (inter-player experiments)
+    # Speculation metadata (repro.predict).  A speculative entry was
+    # prefetched on a pose forecast and must be validated against the
+    # float64 oracle digest before the display path may trust it;
+    # ``digest`` carries the oracle hash stamped at admission time.
+    speculative: bool = False
+    digest: int = 0
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -59,17 +65,26 @@ class CachedFrame:
 
 @dataclass
 class CacheStats:
+    """Lookup / replacement / speculation counters for one cache."""
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     exact_hits: int = 0
+    # Speculation lifecycle (all zero unless prediction is enabled).
+    speculative_inserts: int = 0
+    speculative_confirms: int = 0
+    speculative_discards: int = 0
+    speculative_expired: int = 0
 
     @property
     def lookups(self) -> int:
+        """Total similarity lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none ran)."""
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
@@ -116,6 +131,10 @@ class FrameCache:
         self._xs = self._ys = self._leaf_arr = self._near_arr = None
         self._leaf_intern: Dict[LeafKey, int] = {}
         self._near_intern: Dict[FrozenSet[int], int] = {}
+        # Resident unconfirmed speculative entries.  Zero on every
+        # non-predicting session, which keeps the speculative filters
+        # below completely off the clean code paths (bit-identity).
+        self._spec_count = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -282,7 +301,14 @@ class FrameCache:
         stale frame perceptually close.  Not counted as a hit or miss and
         does not refresh LRU state; the caller records it as degradation.
         ``now_ms`` only stamps the telemetry instant.
+
+        Unconfirmed speculative entries never serve as stale fallbacks —
+        displaying unvalidated speculative state is exactly what the
+        rollback discipline forbids — so when any are resident the scan
+        restricts itself to confirmed frames.
         """
+        if self._spec_count:
+            return self._nearest_confirmed(position, now_ms)
         if not self._frames:
             if self.tracer is not None:
                 self.tracer.instant(
@@ -332,6 +358,123 @@ class FrameCache:
                 best_distance = distance
         return best
 
+    def _nearest_confirmed(
+        self, position: Vec2, now_ms: float
+    ) -> Optional[CachedFrame]:
+        """Stale-fallback scan over confirmed (non-speculative) frames.
+
+        Only runs while unconfirmed speculative entries are resident, so
+        the plain :meth:`nearest` paths (scalar *and* vector — both see
+        the same filtered candidate list here, keeping kernel modes in
+        lockstep) stay untouched for non-predicting sessions.
+        """
+        candidates = [f for f in self._frames.values() if not f.speculative]
+        if not candidates:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "cache.nearest", self.owner, "cache", now_ms, cat="cache",
+                    args={"outcome": "empty", "entries": len(self._frames)},
+                )
+            return None
+        best = min(candidates, key=lambda f: f.position.distance_to(position))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cache.nearest", self.owner, "cache", now_ms, cat="cache",
+                args={"outcome": "stale",
+                      "age_ms": round(now_ms - best.inserted_ms, 4),
+                      "entries": len(self._frames)},
+            )
+        return best
+
+    # ------------------------------------------------------------------
+    # Speculation (repro.predict)
+    # ------------------------------------------------------------------
+
+    def peek(
+        self,
+        grid_point: GridPoint,
+        position: Vec2,
+        leaf: LeafKey,
+        near_ids: FrozenSet[int],
+        dist_thresh: float,
+    ) -> Optional[CachedFrame]:
+        """A stats-free, LRU-free :meth:`lookup`.
+
+        Speculative planning (and resync probing) must not skew the hit
+        ratio or refresh recency, so this answers the same three-criteria
+        question as :meth:`lookup` without recording anything.
+        """
+        if dist_thresh < 0:
+            raise ValueError("dist_thresh must be non-negative")
+        exact = self._frames.get(grid_point)
+        if exact is not None:
+            return exact
+        if self.exact_only:
+            return None
+        return self._scan_scalar(position, leaf, near_ids, dist_thresh)
+
+    def confirm(self, frame: CachedFrame) -> None:
+        """Promote a validated speculative entry to a confirmed one."""
+        if frame.speculative:
+            frame.speculative = False
+            self._spec_count -= 1
+            self.stats.speculative_confirms += 1
+
+    def discard(self, frame: CachedFrame) -> bool:
+        """Drop one entry (rollback of corrupt/mispredicted speculation).
+
+        Returns True when the frame was resident and removed.
+        """
+        resident = self._frames.get(frame.grid_point)
+        if resident is not frame:
+            return False
+        del self._frames[frame.grid_point]
+        self._bytes -= frame.size_bytes
+        self._index_dirty = True
+        if frame.speculative:
+            self._spec_count -= 1
+            self.stats.speculative_discards += 1
+        return True
+
+    def expire_speculative(self, now_ms: float, ttl_ms: float) -> int:
+        """Drop unconfirmed speculative entries older than ``ttl_ms``.
+
+        A speculative frame no lookup ever confirmed was a misprediction;
+        letting it linger would waste capacity and (worse) leave
+        unvalidated state resident forever.  Returns how many expired.
+        """
+        if self._spec_count == 0:
+            return 0
+        stale = [
+            f for f in self._frames.values()
+            if f.speculative and now_ms - f.inserted_ms > ttl_ms
+        ]
+        for frame in stale:
+            del self._frames[frame.grid_point]
+            self._bytes -= frame.size_bytes
+            self._spec_count -= 1
+            self.stats.speculative_expired += 1
+            self._index_dirty = True
+        return len(stale)
+
+    def drop_speculative(self) -> int:
+        """Discard every unconfirmed speculative entry (resync repair)."""
+        if self._spec_count == 0:
+            return 0
+        doomed = [f for f in self._frames.values() if f.speculative]
+        for frame in doomed:
+            del self._frames[frame.grid_point]
+            self._bytes -= frame.size_bytes
+            self._spec_count -= 1
+            self.stats.speculative_discards += 1
+            self._index_dirty = True
+        return len(doomed)
+
+    @property
+    def speculative_count(self) -> int:
+        """Resident unconfirmed speculative entries."""
+        return self._spec_count
+
     # ------------------------------------------------------------------
     # Insertion and replacement
     # ------------------------------------------------------------------
@@ -343,8 +486,13 @@ class FrameCache:
         existing = self._frames.get(frame.grid_point)
         if existing is not None:
             self._bytes -= existing.size_bytes
+            if existing.speculative:
+                self._spec_count -= 1
         self._frames[frame.grid_point] = frame
         self._bytes += frame.size_bytes
+        if frame.speculative:
+            self._spec_count += 1
+            self.stats.speculative_inserts += 1
         self._index_dirty = True
         self._evict_if_needed(player_position=frame.position)
 
@@ -353,6 +501,8 @@ class FrameCache:
             victim = self._pick_victim(player_position)
             del self._frames[victim.grid_point]
             self._bytes -= victim.size_bytes
+            if victim.speculative:
+                self._spec_count -= 1
             self.stats.evictions += 1
             self._index_dirty = True
 
@@ -367,4 +517,5 @@ class FrameCache:
         """Drop every cached frame (stats are kept)."""
         self._frames.clear()
         self._bytes = 0
+        self._spec_count = 0
         self._index_dirty = True

@@ -119,6 +119,53 @@ class Prefetcher:
             dist_thresh=dist_thresh,
         )
 
+    def plan_speculative(
+        self,
+        position: Vec2,
+        heading: float,
+        now_ms: float,
+    ) -> PrefetchDecision:
+        """Resolve a *forecast* viewpoint without touching lookup stats.
+
+        The speculation path (repro.predict) plans against predicted
+        poses that may be wrong; charging those probes to the cache's
+        hit/miss counters or the fetch tally would corrupt the metrics
+        the real frame loop reports.  Same derivation as :meth:`plan`,
+        but the cache is only :meth:`~repro.core.cache.FrameCache.peek`-ed
+        and ``fetches`` is left alone.  Predicted positions may fall
+        outside the scene, so the target is clamped to its bounds.
+        """
+        target = self.scene.bounds.clamp(position)
+        if self.lookahead_m > 0:
+            target = self.scene.bounds.clamp(
+                target + Vec2.from_angle(heading, self.lookahead_m)
+            )
+        grid_point = self.grid.snap(target)
+        snapped = self.grid.to_world(grid_point)
+        leaf, cutoff = self.cutoff_map.leaf_for(snapped)
+        near_ids = self.scene.near_object_ids(
+            snapped, cutoff, min_radius=self.near_significance * cutoff
+        )
+        dist_thresh = self.dist_thresh_map.threshold_for(snapped)
+        if self.thresh_scale != 1.0:
+            dist_thresh = dist_thresh * self.thresh_scale
+        cached = self.cache.peek(
+            grid_point=grid_point,
+            position=snapped,
+            leaf=leaf,
+            near_ids=near_ids,
+            dist_thresh=dist_thresh,
+        )
+        return PrefetchDecision(
+            grid_point=grid_point,
+            position=snapped,
+            leaf=leaf,
+            cutoff_radius=cutoff,
+            near_ids=near_ids,
+            cached=cached,
+            dist_thresh=dist_thresh,
+        )
+
     def admit(
         self,
         decision: PrefetchDecision,
@@ -126,8 +173,15 @@ class Prefetcher:
         size_bytes: int,
         now_ms: float,
         origin_player: int = -1,
+        speculative: bool = False,
+        digest: int = 0,
     ) -> CachedFrame:
-        """Insert a server-fetched frame for a previous decision."""
+        """Insert a server-fetched frame for a previous decision.
+
+        ``speculative`` tags the entry as unconfirmed forecast state and
+        ``digest`` stamps its float64 oracle hash; both default to the
+        plain (non-speculative) admission the clean path performs.
+        """
         frame = CachedFrame(
             grid_point=decision.grid_point,
             position=decision.position,
@@ -138,6 +192,8 @@ class Prefetcher:
             inserted_ms=now_ms,
             last_used_ms=now_ms,
             origin_player=origin_player,
+            speculative=speculative,
+            digest=digest,
         )
         self.cache.insert(frame)
         return frame

@@ -4,19 +4,27 @@ from .churn import ChurnSchedule, CrashEvent, JoinEvent, LeaveEvent
 from .injector import FaultInjector
 from .schedule import (
     ClientOutage,
+    DesyncInjection,
     FaultSchedule,
     LinkDegradation,
+    PoseJump,
     ServerStall,
+    SpeculationCorruption,
+    SpeculationStorm,
 )
 
 __all__ = [
     "ChurnSchedule",
     "ClientOutage",
     "CrashEvent",
+    "DesyncInjection",
     "FaultInjector",
     "FaultSchedule",
     "JoinEvent",
     "LeaveEvent",
     "LinkDegradation",
+    "PoseJump",
     "ServerStall",
+    "SpeculationCorruption",
+    "SpeculationStorm",
 ]

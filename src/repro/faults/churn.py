@@ -133,11 +133,51 @@ class ChurnSchedule:
         * ``crash@4000:1`` — slot 1 dies silently (heartbeats stop);
         * ``flap@3000-9000:2`` — slot 2 alternates leave/rejoin over the
           window (default 1000 ms half-period; ``~800`` overrides it).
+
+        Conflicting entries are rejected with the 1-based entry number:
+        two events of the same kind targeting the same slot at the same
+        instant are a duplicate, and two flap windows on the same slot
+        must not overlap (their interleaved leave/rejoin trains would
+        silently corrupt each other's on/offline state).
         """
         joins: List[JoinEvent] = []
         leaves: List[LeaveEvent] = []
         crashes: List[CrashEvent] = []
-        for raw in spec.split(","):
+        # Conflict detection: (kind, t_ms, slot) -> first declaring entry,
+        # plus every flap window per slot.  Populated as entries parse so
+        # errors can cite both colliding entry numbers.
+        seen_slots: dict = {}
+        flap_windows: List[Tuple[int, float, float, int]] = []
+
+        def note_slot_event(kind_name: str, t_ms: float, slot: int,
+                            index: int, entry: str) -> None:
+            """Reject a second same-kind event for one slot at one time."""
+            key = (kind_name, t_ms, slot)
+            first = seen_slots.get(key)
+            if first is not None:
+                raise ValueError(
+                    f"churn spec entry {index} ({entry!r}): duplicate "
+                    f"{kind_name} for slot {slot} at {t_ms:g} ms "
+                    f"(first declared in entry {first})"
+                )
+            seen_slots[key] = index
+
+        def note_flap_window(slot: int, start_ms: float, end_ms: float,
+                             index: int, entry: str) -> None:
+            """Reject overlapping flap windows targeting the same slot."""
+            for other_slot, other_start, other_end, other_index in flap_windows:
+                if other_slot != slot:
+                    continue
+                if start_ms < other_end and other_start < end_ms:
+                    raise ValueError(
+                        f"churn spec entry {index} ({entry!r}): flap window "
+                        f"{start_ms:g}-{end_ms:g} ms for slot {slot} overlaps "
+                        f"the {other_start:g}-{other_end:g} ms window from "
+                        f"entry {other_index}"
+                    )
+            flap_windows.append((slot, start_ms, end_ms, index))
+
+        for index, raw in enumerate(spec.split(","), start=1):
             entry = raw.strip()
             if not entry:
                 continue
@@ -157,11 +197,17 @@ class ChurnSchedule:
                         raise ValueError("join count must be >= 1")
                     joins.extend(JoinEvent(t_ms) for _ in range(count))
                 elif kind == "rejoin":
-                    joins.append(JoinEvent(float(when), slot=int(arg)))
+                    t_ms, slot = float(when), int(arg)
+                    note_slot_event("rejoin", t_ms, slot, index, entry)
+                    joins.append(JoinEvent(t_ms, slot=slot))
                 elif kind == "leave":
-                    leaves.append(LeaveEvent(float(when), slot=int(arg)))
+                    t_ms, slot = float(when), int(arg)
+                    note_slot_event("leave", t_ms, slot, index, entry)
+                    leaves.append(LeaveEvent(t_ms, slot=slot))
                 elif kind == "crash":
-                    crashes.append(CrashEvent(float(when), slot=int(arg)))
+                    t_ms, slot = float(when), int(arg)
+                    note_slot_event("crash", t_ms, slot, index, entry)
+                    crashes.append(CrashEvent(t_ms, slot=slot))
                 elif kind == "flap":
                     start_s, end_s = when.split("-", 1)
                     slot_s, _, period_s = arg.partition("~")
@@ -172,17 +218,24 @@ class ChurnSchedule:
                     half_period = float(period_s) if period_s else 1000.0
                     if half_period <= 0:
                         raise ValueError("flap period must be positive")
-                    # Expand into an alternating leave / rejoin train.
+                    note_flap_window(slot, start_ms, end_ms, index, entry)
+                    # Expand into an alternating leave / rejoin train; the
+                    # generated events register for duplicate detection so
+                    # a flap silently colliding with an explicit leave /
+                    # rejoin is rejected too.
                     t, leaving = start_ms, True
                     while t < end_ms:
                         if leaving:
+                            note_slot_event("leave", t, slot, index, entry)
                             leaves.append(LeaveEvent(t, slot=slot))
                         else:
+                            note_slot_event("rejoin", t, slot, index, entry)
                             joins.append(JoinEvent(t, slot=slot))
                         leaving = not leaving
                         t += half_period
                     if not leaving:
                         # Never strand the player offline at window end.
+                        note_slot_event("rejoin", end_ms, slot, index, entry)
                         joins.append(JoinEvent(end_ms, slot=slot))
                 else:
                     raise ValueError(

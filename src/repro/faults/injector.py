@@ -55,3 +55,40 @@ class FaultInjector:
             1 for outage in self.schedule.outages
             if outage.player_id in (-1, player_id)
         )
+
+    # ------------------------------------------------------------------
+    # Speculation / sync faults (repro.predict, repro.session.sync)
+    # ------------------------------------------------------------------
+
+    def speculation_frozen(self, player_id: int, now_ms: float) -> bool:
+        """Whether a stale-speculation storm freezes pose observations."""
+        return any(
+            storm.covers(player_id, now_ms)
+            for storm in self.schedule.spec_storms
+        )
+
+    def speculation_corrupted(self, player_id: int, now_ms: float) -> bool:
+        """Whether a speculative fetch completing now arrives corrupted."""
+        return any(
+            window.covers(player_id, now_ms)
+            for window in self.schedule.spec_corruptions
+        )
+
+    def desync_event_ms(
+        self, player_id: int, since_ms: float, until_ms: float
+    ) -> Optional[float]:
+        """Earliest scripted desync for ``player_id`` in ``(since, until]``.
+
+        The sync validator calls this once per validation round to decide
+        whether the player's exchanged state hash was corrupted in flight
+        since the previous round; the returned injection time anchors the
+        detection-latency measurement.
+        """
+        best = None
+        for desync in self.schedule.desyncs:
+            if desync.player_id != player_id:
+                continue
+            if since_ms < desync.t_ms <= until_ms:
+                if best is None or desync.t_ms < best:
+                    best = desync.t_ms
+        return best

@@ -50,6 +50,18 @@ class ResilienceStats:
     fetch_retries: int = 0  # background re-issues after a fetch timeout
     fetches_abandoned: int = 0  # fetches given up after the retry cap
     rewarm_fetches: int = 0  # cache re-warms after a reconnect
+    # Speculation outcomes (repro.predict); all zero unless prediction ran.
+    spec_predictions: int = 0  # pose forecasts issued
+    spec_prefetches: int = 0  # speculative fetches launched
+    spec_confirms: int = 0  # speculative entries validated and promoted
+    spec_mispredictions: int = 0  # forecasts whose error beat their radius
+    spec_rollbacks: int = 0  # corrupt speculative entries rolled back
+    spec_expired: int = 0  # speculative entries that aged out unconfirmed
+    # Sync-validation outcomes (repro.session.sync); zero without it.
+    desync_alarms: int = 0  # cross-peer state-hash mismatches raised
+    desync_detection_ms: float = 0.0  # worst injection -> alarm latency
+    resyncs: int = 0  # authoritative re-warms triggered by alarms
+    resync_recovery_ms: float = 0.0  # alarm -> clean-round time, summed
 
 
 @dataclass
@@ -98,6 +110,19 @@ class SessionMetrics:
     abr_degraded_ms: float = 0.0  # time spent below base quality
     # (t_ms, crf) at every ladder change, starting at (0, base_crf).
     abr_crf_timeline: tuple = ()
+    # Speculation outcomes (repro.predict); all zero when prediction is
+    # off, so clean-run equality is preserved bit-for-bit.
+    spec_predictions: int = 0
+    spec_prefetches: int = 0
+    spec_confirms: int = 0
+    spec_mispredictions: int = 0
+    spec_rollbacks: int = 0
+    spec_expired: int = 0
+    # Sync-validation outcomes (repro.session.sync); zero without it.
+    desync_alarms: int = 0
+    desync_detection_ms: float = 0.0
+    resyncs: int = 0
+    resync_recovery_ms: float = 0.0
 
 
 class MetricsCollector:
@@ -252,4 +277,14 @@ class MetricsCollector:
             fetch_retries=self.resilience.fetch_retries,
             fetches_abandoned=self.resilience.fetches_abandoned,
             rewarm_fetches=self.resilience.rewarm_fetches,
+            spec_predictions=self.resilience.spec_predictions,
+            spec_prefetches=self.resilience.spec_prefetches,
+            spec_confirms=self.resilience.spec_confirms,
+            spec_mispredictions=self.resilience.spec_mispredictions,
+            spec_rollbacks=self.resilience.spec_rollbacks,
+            spec_expired=self.resilience.spec_expired,
+            desync_alarms=self.resilience.desync_alarms,
+            desync_detection_ms=self.resilience.desync_detection_ms,
+            resyncs=self.resilience.resyncs,
+            resync_recovery_ms=self.resilience.resync_recovery_ms,
         )

@@ -1,0 +1,36 @@
+"""Speculative pose prediction (viewport forecasting + digests).
+
+The package that lets Coterie prefetch *ahead of* the prefetcher's own
+lookahead: a deterministic viewport-pose predictor
+(:class:`PosePredictor`) forecasts where a player will be a few frames
+out, the frame loop speculatively fetches the forecast grid point's
+far-BE panorama, and the digest helpers give every frame a float64
+oracle hash so speculative state can be validated — and rolled back —
+bit-exactly.  ``predict=None`` sessions never import any of this on the
+hot path and stay bit-identical to the non-speculative pipeline.
+"""
+
+from .digest import (
+    FNV_OFFSET,
+    digest_ints,
+    float_bits,
+    fnv1a,
+    int_bits,
+    pose_digest,
+    stored_frame_digest,
+)
+from .pose import PosePrediction, PosePredictor, PredictConfig, wrap_angle
+
+__all__ = [
+    "FNV_OFFSET",
+    "PosePrediction",
+    "PosePredictor",
+    "PredictConfig",
+    "digest_ints",
+    "float_bits",
+    "fnv1a",
+    "int_bits",
+    "pose_digest",
+    "stored_frame_digest",
+    "wrap_angle",
+]

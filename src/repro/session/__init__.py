@@ -25,6 +25,14 @@ from .membership import (
     SlotStats,
 )
 from .supervisor import MembershipSummary, SessionSupervisor, SupervisorConfig
+from .sync import (
+    DesyncAlarm,
+    SlotSyncStats,
+    SyncConfig,
+    SyncValidator,
+    cache_state_digest,
+    state_digest,
+)
 
 __all__ = [
     "ACTIVE",
@@ -33,6 +41,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "CRASHED",
+    "DesyncAlarm",
     "DISPLAYING",
     "EpochLog",
     "IDLE",
@@ -44,7 +53,12 @@ __all__ = [
     "MembershipSummary",
     "SessionSupervisor",
     "SlotStats",
+    "SlotSyncStats",
     "SupervisorConfig",
     "SUSPECT",
+    "SyncConfig",
+    "SyncValidator",
     "WARMING",
+    "cache_state_digest",
+    "state_digest",
 ]

@@ -22,6 +22,7 @@ import dataclasses
 from ..adapt import AbrConfig, AbrController
 from ..codec import CodecTiming, FrameCodec
 from ..faults import ChurnSchedule, FaultInjector, FaultSchedule
+from ..geometry import Vec2
 from ..metrics import (
     CpuModel,
     FrameRecord,
@@ -31,8 +32,9 @@ from ..metrics import (
     ThermalModel,
 )
 from ..net import ImpairmentConfig, LinkImpairment, PunChannel, WifiLink
+from ..predict import PredictConfig
 from ..render import KERNEL_MODES, PIXEL2, DeviceProfile, RenderConfig, RenderCostModel
-from ..session import MembershipSummary, SessionSupervisor, SupervisorConfig
+from ..session import MembershipSummary, SessionSupervisor, SupervisorConfig, SyncConfig
 from ..sim import Simulator
 from ..telemetry import LATENCY_BUCKETS_MS, as_hub, as_tracer
 from ..trace import Trajectory, generate_party
@@ -77,6 +79,10 @@ class SessionConfig:
     churn: Optional[ChurnSchedule] = None  # scripted join/leave/crash
     supervision: Optional[SupervisorConfig] = None  # detector/admission knobs
     max_players: Optional[int] = None  # roster cap (overrides supervision's)
+    # --- speculation (None: no prediction, clean path bit-identical) ---
+    predict: Optional[PredictConfig] = None  # pose-prediction prefetch knobs
+    # --- sync validation (None: no digest exchange, clean path) ---
+    sync: Optional[SyncConfig] = None  # cross-peer desync detection knobs
     # --- observability (None: tracing off, zero overhead) ---
     # A repro.telemetry.SpanTracer recording sim-time spans for the whole
     # online path.  Purely observational: a traced run produces the same
@@ -351,6 +357,26 @@ class Session:
             return None
         return self.faults.outage_resume_ms(player_id, now_ms)
 
+    def speculation_frozen(self, player_id: int, now_ms: float) -> bool:
+        """Whether a stale-speculation storm freezes this player's predictor."""
+        if self.faults is None:
+            return False
+        return self.faults.speculation_frozen(player_id, now_ms)
+
+    def speculation_corrupted(self, player_id: int, now_ms: float) -> bool:
+        """Whether a speculative fetch completing now arrives corrupted."""
+        if self.faults is None:
+            return False
+        return self.faults.speculation_corrupted(player_id, now_ms)
+
+    def desync_event_ms(
+        self, player_id: int, since_ms: float, until_ms: float
+    ) -> Optional[float]:
+        """Earliest scripted desync for ``player_id`` in ``(since, until]``."""
+        if self.faults is None:
+            return None
+        return self.faults.desync_event_ms(player_id, since_ms, until_ms)
+
     def fault_label(self, now_ms: float) -> str:
         """Scheduled fault episodes active at ``now_ms`` (span attribution).
 
@@ -369,6 +395,13 @@ class Session:
             parts.append("stall")
         if any(o.start_ms <= now_ms < o.end_ms for o in schedule.outages):
             parts.append("outage")
+        if any(s.start_ms <= now_ms < s.end_ms for s in schedule.spec_storms):
+            parts.append("specstorm")
+        if any(
+            w.start_ms <= now_ms < w.end_ms
+            for w in schedule.spec_corruptions
+        ):
+            parts.append("speccorrupt")
         return "+".join(parts)
 
     # ------------------------------------------------------------------
@@ -627,10 +660,36 @@ class Session:
 
     def position_at(self, player: int, t_ms: float):
         """Time-indexed trajectory lookup (players move in real time even
-        when the display runs below 60 FPS)."""
+        when the display runs below 60 FPS).
+
+        Scripted pose jumps (teleports, snap-turns) apply as cumulative
+        offsets from their instant onward — a permanent discontinuity the
+        pose predictor cannot extrapolate across.  With no pose faults
+        scheduled the original sample is returned untouched.
+        """
         trajectory = self.trajectories[player]
         index = min(len(trajectory) - 1, max(0, int(t_ms / (1000.0 / 60.0))))
-        return trajectory[index]
+        sample = trajectory[index]
+        if self.faults is not None and self.config.faults.poses:
+            sample = self._apply_pose_faults(player, t_ms, sample)
+        return sample
+
+    def _apply_pose_faults(self, player: int, t_ms: float, sample):
+        """Offset a trajectory sample by every pose jump in effect."""
+        dx = dy = dheading = 0.0
+        for jump in self.config.faults.poses:
+            if jump.applies(player, t_ms):
+                dx += jump.dx
+                dy += jump.dy
+                dheading += jump.dheading
+        if dx == 0.0 and dy == 0.0 and dheading == 0.0:
+            return sample
+        position = self.world.scene.bounds.clamp(
+            sample.position + Vec2(dx, dy)
+        )
+        return dataclasses.replace(
+            sample, position=position, heading=sample.heading + dheading
+        )
 
     def finish(
         self,

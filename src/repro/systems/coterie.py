@@ -47,8 +47,10 @@ from ..core.prefetch import Prefetcher
 from ..core.preprocess import OfflineArtifacts, PanoramaStore
 from ..perf import FrameArena
 from ..metrics import CpuModel, FrameRecord
+from ..predict import PosePredictor, stored_frame_digest
 from ..render.splitter import eye_at, reference_frame, render_fi, render_near_be
-from ..session import ACTIVE, WARMING, AdmissionController
+from ..session import ACTIVE, WARMING, AdmissionController, SyncValidator
+from ..session.sync import CORRUPTION_MASK, state_digest
 from ..similarity import ssim
 from ..sim import any_of
 from ..trace import avatars_at
@@ -169,6 +171,31 @@ def run_coterie(
     # choosing app-layer frame drops.  The far-BE size-model mean anchors
     # the ladder forecast.
     abr = session.init_abr(artifacts.far_size_model.mean_bytes)
+    # Speculative pose-prediction prefetch (repro.predict): per-slot
+    # predictors forecast the viewport a few frames out and background
+    # transfers land speculative-tagged, digest-stamped cache entries.
+    # None when config.predict is off — the loop below never touches a
+    # speculation branch and the clean path stays bit-identical.
+    predict = config.predict
+    predictors = None
+    spec_pending = None
+    if predict is not None:
+        predictors = [PosePredictor(predict) for _ in range(n_slots)]
+        spec_pending = [False] * n_slots
+    # Digest stamping is needed by both speculation (oracle validation)
+    # and sync validation (state hashes); the clean path never computes
+    # one.
+    stamp_digests = predict is not None or config.sync is not None
+
+    def authoritative_digest(grid_point):
+        """The float64 oracle hash of the frame the store serves now.
+
+        ``PanoramaStore.frame_for`` is memoized and deterministic, so this
+        is exactly what an on-demand (non-speculative) fetch of the same
+        grid point would display — the convergence target the rollback
+        path asserts against.
+        """
+        return stored_frame_digest(store.frame_for(grid_point), grid_point)
 
     def overhear_targets(player_id):
         """Caches a server reply is mirrored into (overhear variant)."""
@@ -178,17 +205,149 @@ def run_coterie(
 
     def admit_all(decision, stored, frame_bytes, now_ms, player_id):
         """Admit a fetched frame, mirroring to other caches if overhearing."""
+        digest = authoritative_digest(decision.grid_point) if stamp_digests else 0
         cached = prefetchers[player_id].admit(
-            decision, stored, frame_bytes, now_ms, origin_player=player_id
+            decision, stored, frame_bytes, now_ms, origin_player=player_id,
+            digest=digest,
         )
         if overhear:
             for other in overhear_targets(player_id):
                 if other != player_id:
                     prefetchers[other].admit(
                         decision, stored, frame_bytes, now_ms,
-                        origin_player=player_id,
+                        origin_player=player_id, digest=digest,
                     )
         return cached
+
+    def speculative_fetch(player_id, decision):
+        """Best-effort transfer of a forecast grid point's panorama.
+
+        At most one in flight per player and no retries — a speculative
+        transfer is cheap to lose.  The entry lands tagged speculative
+        with its oracle digest stamped (perturbed during a scripted
+        ``speccorrupt`` window, so validation must catch it before
+        anything displays from it).  A slot whose pending flag was reset
+        mid-flight (rejoin cleared its cache) abandons the admission.
+        """
+        stored = store.frame_for(decision.grid_point)
+        frame_bytes = stored.wire_bytes
+        yield session.link.transfer(frame_bytes, tag="be")
+        if not spec_pending[player_id]:
+            return  # incarnation changed mid-transfer; stale admission
+        digest = authoritative_digest(decision.grid_point)
+        if session.speculation_corrupted(player_id, sim.now):
+            digest ^= CORRUPTION_MASK
+        prefetchers[player_id].admit(
+            decision, stored, frame_bytes, sim.now,
+            origin_player=player_id, speculative=True, digest=digest,
+        )
+        spec_pending[player_id] = False
+        if tracer.enabled:
+            tracer.instant(
+                "predict.landed", player_id, "net", sim.now, cat="predict",
+                args={"grid": list(decision.grid_point),
+                      "bytes": frame_bytes},
+            )
+
+    # Cross-peer sync validation (repro.session.sync): a fixed-cadence
+    # digest exchange over the PUN channel.  None when config.sync is off.
+    validator = None
+    needs_resync = None
+    last_display = None
+    if config.sync is not None:
+        # (t_ms, x, y, heading, displayed-frame digest) per slot — the
+        # authoritative inputs to each peer's per-round state hash.
+        last_display = [(0.0, 0.0, 0.0, 0.0, 0)] * n_slots
+        needs_resync = [False] * n_slots
+
+        def sync_roster():
+            """Slots whose state hashes are exchanged this round."""
+            if supervisor is None:
+                return range(n_players)
+            return supervisor.active_slots()
+
+        def authoritative_state(slot):
+            """Recompute one peer's state hash from live session state."""
+            t_ms, x, y, heading, frame_digest = last_display[slot]
+            return state_digest(
+                t_ms, x, y, heading, frame_digest, caches[slot], slot
+            )
+
+        def record_sync_bytes(nbytes):
+            """Account digest-exchange traffic as FI-class datagrams."""
+            session.link.record_datagram(nbytes, tag="fi")
+
+        def request_resync(slot):
+            """Flag a divergent peer for an authoritative re-warm."""
+            needs_resync[slot] = True
+
+        validator = SyncValidator(
+            sim=sim,
+            config=config.sync,
+            horizon_ms=session.horizon_ms,
+            n_slots=n_slots,
+            roster=sync_roster,
+            authoritative=authoritative_state,
+            injected_at=session.desync_event_ms,
+            record_bytes=record_sync_bytes,
+            request_resync=request_resync,
+            tracer=tracer,
+        )
+        sim.spawn(validator.process())
+
+    if session.hub.enabled and (predictors is not None or validator is not None):
+        # Speculation / sync observability: probe-based totals sampled on
+        # the hub cadence, mirroring the cache-stats probes.
+        hub = session.hub
+        spec_inserts_total = hub.counter("spec_prefetches_landed_total")
+        spec_confirms_total = hub.counter("spec_confirms_total")
+        spec_rollbacks_total = hub.counter("spec_rollbacks_total")
+        desync_alarms_total = hub.counter("desync_alarms_total")
+
+        def _spec_probe():
+            spec_inserts_total.set_total(float(
+                sum(c.stats.speculative_inserts for c in caches)
+            ))
+            spec_confirms_total.set_total(float(
+                sum(c.stats.speculative_confirms for c in caches)
+            ))
+            spec_rollbacks_total.set_total(float(sum(
+                session.collectors[s].resilience.spec_rollbacks
+                for s in range(n_slots)
+            )))
+            if validator is not None:
+                desync_alarms_total.set_total(float(validator.total_alarms))
+
+        hub.register_probe(_spec_probe)
+
+    def resync(player_id):
+        """Re-warm a desynced peer from authoritative state.
+
+        GGPO-style repair, reusing the retry/backoff fetch machinery and
+        the rejoin cache-repair discipline: every unconfirmed speculative
+        entry is dropped, then the panorama for the player's *current*
+        viewpoint is re-fetched with :func:`blocking_fetch` (timeout,
+        abort, capped exponential backoff) and admitted with a fresh
+        oracle digest.
+        """
+        needs_resync[player_id] = False
+        now = sim.now
+        caches[player_id].drop_speculative()
+        sample = session.position_at(player_id, now)
+        decision = prefetchers[player_id].plan_speculative(
+            sample.position, sample.heading, now
+        )
+        stored = store.frame_for(decision.grid_point)
+        perf.count("sync.resyncs")
+        if tracer.enabled:
+            tracer.instant(
+                "sync.resync", player_id, "net", now, cat="sync",
+                args={"grid": list(decision.grid_point),
+                      "bytes": stored.wire_bytes},
+            )
+        ok = yield from blocking_fetch(player_id, stored.wire_bytes)
+        if ok:
+            admit_all(decision, stored, stored.wire_bytes, sim.now, player_id)
 
     def background_fetch(player_id, decision, stored, frame_bytes, first_ev):
         """Finish a deadline-missed fetch off the display's critical path.
@@ -329,6 +488,10 @@ def run_coterie(
                         session.trace_outage(player_id, outage_start, sim.now)
                     needs_rewarm[player_id] = True
                     continue
+            if needs_resync is not None and needs_resync[player_id]:
+                # A desync alarm flagged this peer: repair before the
+                # next frame displays anything.
+                yield from resync(player_id)
             t0 = sim.now
             if controller is not None:
                 # Ladder re-evaluation and prefetch throttling happen
@@ -337,7 +500,56 @@ def run_coterie(
                 controller.on_frame(t0)
                 prefetcher.thresh_scale = controller.thresh_scale()
             sample = session.position_at(player_id, t0)
+            if predictors is not None:
+                # Feed the predictor (unless a scripted stale-speculation
+                # storm froze its observations) and age out unconfirmed
+                # speculative entries before this frame's lookup.
+                if not session.speculation_frozen(player_id, t0):
+                    predictors[player_id].observe(
+                        t0, sample.position, sample.heading
+                    )
+                expired = caches[player_id].expire_speculative(
+                    t0, predict.speculative_ttl_ms
+                )
+                if expired:
+                    perf.count("predict.spec_expired")
+                    if tracer.enabled:
+                        tracer.instant(
+                            "predict.expired", player_id, "cache", t0,
+                            cat="predict", args={"entries": expired},
+                        )
             decision = prefetcher.plan(sample.position, sample.heading, t0)
+            if predictors is not None:
+                # Rollback discipline: a lookup that returned speculative
+                # state must validate it against the float64 oracle before
+                # the display may trust it.  On mismatch the entry is
+                # rolled back and the plan re-runs on confirmed state
+                # only, converging on exactly what an on-demand fetch
+                # would have displayed (the digest equality below *is*
+                # the convergence assertion).
+                while (
+                    decision.cached is not None and decision.cached.speculative
+                ):
+                    spec_frame = decision.cached
+                    if spec_frame.digest == authoritative_digest(
+                        spec_frame.grid_point
+                    ):
+                        caches[player_id].confirm(spec_frame)
+                        collector.resilience.spec_confirms += 1
+                        perf.count("predict.spec_confirms")
+                        break
+                    caches[player_id].discard(spec_frame)
+                    collector.resilience.spec_rollbacks += 1
+                    perf.count("predict.spec_rollbacks")
+                    if tracer.enabled:
+                        tracer.instant(
+                            "predict.rollback", player_id, "cache", t0,
+                            cat="predict",
+                            args={"grid": list(spec_frame.grid_point)},
+                        )
+                    decision = prefetcher.plan(
+                        sample.position, sample.heading, t0
+                    )
 
             frame_bytes = 0
             transfer_ms = 0.0
@@ -461,6 +673,47 @@ def run_coterie(
                 cached = decision.cached
                 if degraded:
                     needs_rewarm[player_id] = False
+
+            if predictors is not None and not spec_pending[player_id]:
+                # Forecast the viewport a few frames out; when the
+                # predictor is confident and the forecast grid point is
+                # not already covered, start a best-effort speculative
+                # transfer off the display's critical path.
+                prediction = predictors[player_id].predict(t0)
+                if (
+                    prediction is not None
+                    and prediction.confidence_m <= predict.max_confidence_m
+                ):
+                    spec_decision = prefetcher.plan_speculative(
+                        prediction.position, prediction.heading, t0
+                    )
+                    if spec_decision.cached is None:
+                        spec_pending[player_id] = True
+                        collector.resilience.spec_prefetches += 1
+                        perf.count("predict.spec_prefetches")
+                        if tracer.enabled:
+                            tracer.instant(
+                                "predict.speculate", player_id, "net", t0,
+                                cat="predict",
+                                args={
+                                    "grid": list(spec_decision.grid_point),
+                                    "confidence_m": round(
+                                        prediction.confidence_m, 4
+                                    ),
+                                },
+                            )
+                        sim.spawn(
+                            speculative_fetch(player_id, spec_decision)
+                        )
+            if last_display is not None:
+                # The authoritative inputs to this peer's next exchanged
+                # state hash: the pose it displayed and the oracle digest
+                # of the frame it displayed it with.
+                last_display[player_id] = (
+                    t0, sample.position.x, sample.position.y,
+                    sample.heading,
+                    cached.digest if cached is not None else 0,
+                )
 
             near_ms = session.cost_model.near_be_ms(
                 world.scene, sample.position, decision.cutoff_radius
@@ -637,10 +890,16 @@ def run_coterie(
         def spawn_client(slot, rejoining):
             if rejoining:
                 # A new incarnation starts cold: the previous life's
-                # cache, pending fetch, and re-warm flags are stale.
+                # cache, pending fetch, re-warm, and speculation state
+                # are all stale.
                 caches[slot].clear()
                 pending_fetch[slot] = False
                 needs_rewarm[slot] = False
+                if predictors is not None:
+                    predictors[slot] = PosePredictor(predict)
+                    spec_pending[slot] = False
+                if needs_resync is not None:
+                    needs_resync[slot] = False
             sim.spawn(client(slot))
 
         supervisor.start(spawn_client, admission)
@@ -649,6 +908,22 @@ def run_coterie(
         # Score whatever is still queued before the session report reads
         # switch SSIMs and displayed-SSIM records.
         ssim_queue.flush()
+    if predictors is not None:
+        # Stamp predictor / cache speculation outcomes into the per-slot
+        # resilience stats so collector.summary() reports them.
+        for slot in range(n_slots):
+            resilience = session.collectors[slot].resilience
+            resilience.spec_predictions = predictors[slot].predictions
+            resilience.spec_mispredictions = predictors[slot].mispredictions
+            resilience.spec_expired = caches[slot].stats.speculative_expired
+    if validator is not None:
+        for slot in range(n_slots):
+            resilience = session.collectors[slot].resilience
+            slot_stats = validator.stats[slot]
+            resilience.desync_alarms = slot_stats.alarms
+            resilience.desync_detection_ms = slot_stats.max_detection_ms
+            resilience.resyncs = slot_stats.resyncs
+            resilience.resync_recovery_ms = slot_stats.recovery_ms
 
     cpu_model = CpuModel()
     be_mbps = session.link.bandwidth_mbps("be", session.horizon_ms)

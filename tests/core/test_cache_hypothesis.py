@@ -1,0 +1,187 @@
+"""Property tests: vector-scan parity under arbitrary cache interleavings.
+
+The vectorized candidate scan promises bit-identity with the scalar
+loop.  A fixed unit test can only pin the interleavings someone thought
+of; here hypothesis drives *arbitrary* insert → evict → lookup →
+nearest sequences (including LRU pressure evictions and, in the second
+property, speculative tagging with confirm/discard/expire) against a
+scalar twin and asserts every observable answer matches.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import CachedFrame, FrameCache
+from repro.geometry import Vec2
+
+GRID_RANGE = 6  # small grid: collisions, replacements, near ties
+LEAVES = ("leaf-a", "leaf-b")
+NEAR_SETS = (frozenset({1}), frozenset({1, 2}))
+
+
+def make_frame(gx, gy, size_bytes, t_ms, leaf="leaf-a",
+               near_ids=frozenset({1}), speculative=False, digest=0):
+    return CachedFrame(
+        grid_point=(gx, gy),
+        position=Vec2(float(gx), float(gy)),
+        leaf=leaf,
+        near_ids=near_ids,
+        payload=None,
+        size_bytes=size_bytes,
+        inserted_ms=t_ms,
+        last_used_ms=t_ms,
+        speculative=speculative,
+        digest=digest,
+    )
+
+
+coords = st.integers(min_value=0, max_value=GRID_RANGE)
+
+plain_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), coords, coords,
+                  st.integers(min_value=100, max_value=500)),
+        st.tuples(st.just("lookup"), coords, coords,
+                  st.sampled_from(LEAVES), st.sampled_from(NEAR_SETS),
+                  st.floats(min_value=0.0, max_value=4.0)),
+        st.tuples(st.just("nearest"),
+                  st.floats(min_value=-1.0, max_value=GRID_RANGE + 1.0),
+                  st.floats(min_value=-1.0, max_value=GRID_RANGE + 1.0)),
+    ),
+    max_size=40,
+)
+
+spec_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), coords, coords,
+                  st.integers(min_value=100, max_value=500),
+                  st.booleans()),
+        st.tuples(st.just("lookup"), coords, coords),
+        st.tuples(st.just("nearest"), coords, coords),
+        st.tuples(st.just("confirm"), coords, coords),
+        st.tuples(st.just("discard"), coords, coords),
+        st.tuples(st.just("expire"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("drop_spec")),
+    ),
+    max_size=50,
+)
+
+
+def key_of(frame):
+    """Observable identity of a lookup/nearest answer."""
+    if frame is None:
+        return None
+    return (frame.grid_point, frame.size_bytes, frame.speculative,
+            frame.digest)
+
+
+class TestVectorParityUnderInterleavings:
+    @given(ops=plain_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_insert_evict_lookup_nearest_parity(self, ops):
+        """Scalar and vector caches agree after every operation."""
+        # Small capacity: a handful of inserts forces LRU evictions.
+        scalar = FrameCache(capacity_bytes=1500)
+        vector = FrameCache(capacity_bytes=1500)
+        vector.vector_scan = True
+        t_ms = 0.0
+        for op in ops:
+            t_ms += 16.0
+            if op[0] == "insert":
+                _, gx, gy, size = op
+                leaf = LEAVES[(gx + gy) % 2]
+                near = NEAR_SETS[gx % 2]
+                scalar.insert(make_frame(gx, gy, size, t_ms, leaf, near))
+                vector.insert(make_frame(gx, gy, size, t_ms, leaf, near))
+            elif op[0] == "lookup":
+                _, gx, gy, leaf, near, thresh = op
+                position = Vec2(float(gx), float(gy))
+                a = scalar.lookup((gx, gy), position, leaf, near, thresh, t_ms)
+                b = vector.lookup((gx, gy), position, leaf, near, thresh, t_ms)
+                assert key_of(a) == key_of(b)
+            else:
+                _, x, y = op
+                a = scalar.nearest(Vec2(x, y), t_ms)
+                b = vector.nearest(Vec2(x, y), t_ms)
+                assert key_of(a) == key_of(b)
+            assert len(scalar) == len(vector)
+            assert scalar.stats.hits == vector.stats.hits
+            assert scalar.stats.misses == vector.stats.misses
+        assert [key_of(f) for f in scalar.frames()] == [
+            key_of(f) for f in vector.frames()
+        ]
+
+
+class TestSpeculativeTaggingParity:
+    @given(ops=spec_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_speculative_interleavings_parity(self, ops):
+        """Parity holds with speculative tagging in the mix.
+
+        confirm/discard are resolved per cache by grid point (the twin
+        caches hold distinct objects), and nearest() must filter
+        unconfirmed speculative entries identically in both modes.
+        """
+        scalar = FrameCache(capacity_bytes=2000)
+        vector = FrameCache(capacity_bytes=2000)
+        vector.vector_scan = True
+        t_ms = 0.0
+        for op in ops:
+            t_ms += 16.0
+            if op[0] == "insert":
+                _, gx, gy, size, speculative = op
+                digest = (gx << 8) | gy if speculative else 0
+                scalar.insert(make_frame(gx, gy, size, t_ms,
+                                         speculative=speculative,
+                                         digest=digest))
+                vector.insert(make_frame(gx, gy, size, t_ms,
+                                         speculative=speculative,
+                                         digest=digest))
+            elif op[0] == "lookup":
+                _, gx, gy = op
+                position = Vec2(float(gx), float(gy))
+                a = scalar.lookup((gx, gy), position, "leaf-a",
+                                  frozenset({1}), 2.0, t_ms)
+                b = vector.lookup((gx, gy), position, "leaf-a",
+                                  frozenset({1}), 2.0, t_ms)
+                assert key_of(a) == key_of(b)
+            elif op[0] == "nearest":
+                _, gx, gy = op
+                a = scalar.nearest(Vec2(float(gx), float(gy)), t_ms)
+                b = vector.nearest(Vec2(float(gx), float(gy)), t_ms)
+                assert key_of(a) == key_of(b)
+                if a is not None:
+                    # The stale fallback never serves unvalidated state.
+                    assert not a.speculative
+            elif op[0] in ("confirm", "discard"):
+                _, gx, gy = op
+                for cache in (scalar, vector):
+                    resident = cache._frames.get((gx, gy))
+                    if resident is None:
+                        continue
+                    if op[0] == "confirm":
+                        cache.confirm(resident)
+                    else:
+                        cache.discard(resident)
+            elif op[0] == "expire":
+                _, ttl = op
+                a = scalar.expire_speculative(t_ms, float(ttl))
+                b = vector.expire_speculative(t_ms, float(ttl))
+                assert a == b
+            else:  # drop_spec
+                assert scalar.drop_speculative() == vector.drop_speculative()
+            assert scalar.speculative_count == vector.speculative_count
+            assert len(scalar) == len(vector)
+        assert [key_of(f) for f in scalar.frames()] == [
+            key_of(f) for f in vector.frames()
+        ]
+        assert (scalar.stats.speculative_confirms
+                == vector.stats.speculative_confirms)
+        assert (scalar.stats.speculative_discards
+                == vector.stats.speculative_discards)
+        assert (scalar.stats.speculative_expired
+                == vector.stats.speculative_expired)

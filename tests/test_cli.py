@@ -282,3 +282,106 @@ class TestMetricsCli:
     def test_report_without_arguments_is_usage_error(self, capsys):
         assert main(["report"]) == 2
         assert "--diff" in capsys.readouterr().err
+
+
+class TestSpeculationCli:
+    def test_predict_and_sync_print_summaries(self, capsys):
+        assert main(["run", "coterie", "pool", "2", "--duration", "2",
+                     "--predict", "--sync-check"]) == 0
+        out = capsys.readouterr().out
+        assert "speculation" in out
+        assert "pose forecasts" in out
+        assert "sync check" in out
+        assert "desync alarms" in out
+
+    def test_predict_requires_coterie(self, capsys):
+        assert main(["run", "mobile", "pool", "1", "--duration", "2",
+                     "--predict"]) == 2
+        assert "--predict/--sync-check require" in capsys.readouterr().err
+        assert main(["run", "thin_client", "pool", "1", "--duration", "2",
+                     "--sync-check"]) == 2
+        assert "coterie" in capsys.readouterr().err
+
+    def test_predict_horizon_requires_predict(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--predict-horizon", "4"]) == 2
+        assert "requires --predict" in capsys.readouterr().err
+
+    def test_bad_predict_horizon_is_an_error(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2",
+                     "--predict", "--predict-horizon", "0"]) == 2
+        assert "invalid --predict-horizon" in capsys.readouterr().err
+
+    def test_clean_run_omits_speculation(self, capsys):
+        assert main(["run", "coterie", "pool", "1", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speculation" not in out
+        assert "sync check" not in out
+
+    def test_desync_fault_raises_alarm(self, capsys):
+        assert main(["run", "coterie", "pool", "2", "--duration", "2",
+                     "--seed", "1", "--predict", "--sync-check",
+                     "--faults", "desync@800:0"]) == 0
+        out = capsys.readouterr().out
+        assert "desync alarms   : 1" in out
+
+
+class TestVerifyDeterminism:
+    def test_clean_run_verifies(self, capsys):
+        assert main(["run", "coterie", "pool", "2", "--duration", "2",
+                     "--verify-determinism"]) == 0
+        out = capsys.readouterr().out
+        assert "determinism check" in out
+        assert "bit-identical" in out
+
+    def test_speculative_faulted_run_verifies(self, capsys):
+        assert main(["run", "coterie", "pool", "2", "--duration", "2",
+                     "--seed", "1", "--predict", "--sync-check",
+                     "--faults", "speccorrupt@200-900,desync@500:0",
+                     "--verify-determinism"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+
+
+class TestReportHardening:
+    def test_empty_event_log_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "is empty" in err
+
+    def test_blank_lines_only_exits_two(self, tmp_path, capsys):
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n   \n")
+        assert main(["report", str(blank)]) == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_metrics_dump_without_series_exits_two(self, tmp_path, capsys):
+        import json as _json
+
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text(
+            _json.dumps({"v": 1, "kind": "meta", "system": "coterie"}) + "\n"
+        )
+        assert main(["report", str(truncated)]) == 2
+        assert "no series records" in capsys.readouterr().err
+
+    def test_event_log_without_frame_spans_exits_two(self, tmp_path, capsys):
+        import json as _json
+
+        spanless = tmp_path / "spanless.jsonl"
+        spanless.write_text(
+            _json.dumps({
+                "v": 1, "kind": "span", "name": "warmup", "player": 0,
+                "lane": "net", "t0_ms": 0.0, "dur_ms": 1.0,
+            }) + "\n"
+        )
+        assert main(["report", str(spanless)]) == 2
+        assert "no frame spans" in capsys.readouterr().err
+
+    def test_truncated_json_line_exits_two(self, tmp_path, capsys):
+        clipped = tmp_path / "clipped.jsonl"
+        clipped.write_text('{"v": 1, "kind": "span", "na\n')
+        assert main(["report", str(clipped)]) == 2
+        assert "not JSON" in capsys.readouterr().err
