@@ -99,6 +99,19 @@ SPECS = {
         ("traces.bufferbloat.adaptive.deadline_miss_rate", "abs_low"),
         ("traces.contention.adaptive.deadline_miss_rate", "abs_low"),
     ],
+    # Shared serving must keep beating isolated serving on sessions/sec
+    # at the same GPU budget, and dedup must stay effective.  Join p99s
+    # and both identity pins are sim-time deterministic, so the additive
+    # abs_low band amounts to an exact hold.
+    "BENCH_fleet.json": [
+        ("comparison.sessions_per_s_ratio", "ratio_high"),
+        ("comparison.dedup_hit_ratio", "ratio_high"),
+        ("workloads.poisson.join_p99_ms", "abs_low"),
+        ("workloads.diurnal.join_p99_ms", "abs_low"),
+        ("workloads.flash.join_p99_ms", "abs_low"),
+        ("identity.mismatches", "abs_low"),
+        ("determinism.mismatches", "abs_low"),
+    ],
 }
 
 
@@ -225,6 +238,11 @@ def compare_dirs(
     return results
 
 
+def _is_bench_artifact(name: str) -> bool:
+    """Whether ``name`` follows the BENCH_*.json artifact convention."""
+    return name.startswith("BENCH_") and name.endswith(".json")
+
+
 def update_baselines(
     baseline_dir: Path,
     fresh_dir: Path,
@@ -232,17 +250,33 @@ def update_baselines(
 ) -> List[str]:
     """Re-pin committed baselines from a fresh bench run.
 
-    Copies each spec'd artifact present in ``fresh_dir`` over
-    ``baseline_dir`` (created if needed), validating that the fresh file
-    parses as JSON first — a half-written artifact must never become the
-    new baseline.  Returns the artifact names that were updated.
+    Copies each artifact present in ``fresh_dir`` over ``baseline_dir``
+    (created if needed), validating that the fresh file parses as JSON
+    first — a half-written artifact must never become the new baseline.
+    Returns the artifact names that were updated.
+
+    Unlike :func:`compare_dirs`, this accepts artifacts without a SPECS
+    entry as long as they follow the ``BENCH_*.json`` convention: when a
+    benchmark is first introduced its baseline must be pinnable before
+    (or in the same change as) its spec lands.  By default every spec'd
+    artifact plus every ``BENCH_*.json`` file in ``fresh_dir`` is
+    considered.
     """
-    names = list(artifacts) if artifacts is not None else sorted(SPECS)
+    if artifacts is not None:
+        names = list(artifacts)
+    else:
+        fresh_names = {
+            p.name for p in fresh_dir.glob("BENCH_*.json")
+        } if fresh_dir.is_dir() else set()
+        names = sorted(set(SPECS) | fresh_names)
     updated: List[str] = []
     baseline_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
-        if name not in SPECS:
-            raise ValueError(f"no metric spec for {name!r}")
+        if name not in SPECS and not _is_bench_artifact(name):
+            raise ValueError(
+                f"no metric spec for {name!r} and it does not follow "
+                "the BENCH_*.json naming convention"
+            )
         fresh_path = fresh_dir / name
         if not fresh_path.exists():
             continue

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the everyday workflows:
+Five subcommands cover the everyday workflows:
 
 * ``run`` — simulate one (system, game, players) experiment and print the
   QoE/network summary; ``--trace``/``--events`` capture a sim-time trace
@@ -14,6 +14,10 @@ Four subcommands cover the everyday workflows:
   forensics between two dumps (exit 1 on regression);
 * ``preprocess`` — run the §6 offline pipeline for a game and print the
   cutoff-scheme statistics (Table 3's columns);
+* ``fleet`` — simulate fleet-scale multi-session serving (matchmaker,
+  fleet admission, shared render farm, cross-session dedup) under a
+  seeded arrival workload or a committed ``--arrivals`` trace file, and
+  print the fleet summary block;
 * ``games`` — list the nine study games with their published dimensions.
 """
 
@@ -28,6 +32,16 @@ import dataclasses
 from . import perf
 from .adapt import AbrConfig
 from .faults import ChurnSchedule, FaultSchedule
+from .fleet import (
+    FIDELITIES,
+    WORKLOADS,
+    ArrivalTrace,
+    FleetBudget,
+    FleetConfig,
+    LobbyConfig,
+    fleet_slos,
+    run_fleet,
+)
 from .net import TRACE_PROFILES, ImpairmentConfig, RateTrace
 from .predict import PredictConfig
 from .render import KERNEL_MODES
@@ -522,6 +536,182 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_config(args: argparse.Namespace,
+                  arrivals: Optional[ArrivalTrace],
+                  games: tuple) -> FleetConfig:
+    """Assemble the :class:`FleetConfig` a ``repro fleet`` run uses."""
+    return FleetConfig(
+        workload=args.workload,
+        rate_per_s=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        games=games,
+        arrivals=arrivals,
+        lobby=LobbyConfig(
+            session_size=args.session_size,
+            min_session_size=args.min_session_size,
+            max_wait_ms=args.max_wait_ms,
+            retry_ms=args.retry_ms,
+            patience_ms=args.patience_ms,
+        ),
+        budget=FleetBudget(
+            gpu_slots=args.gpu_slots,
+            render_ms=args.render_ms,
+            bandwidth_mbps=args.fleet_mbps,
+            max_sessions=args.max_sessions,
+        ),
+        session_duration_s=args.session_duration,
+        warmup_points=args.warmup_points,
+        batch_max=args.batch_max,
+        deadline_ms=args.deadline_ms,
+        shared=not args.isolated,
+        fidelity=args.fidelity,
+        system=args.system,
+    )
+
+
+def _print_fleet_summary(summary) -> None:
+    """Render the fleet summary block (the tentpole's headline output)."""
+    s = summary
+    print("  -- matchmaking --")
+    print(f"  players         : {s.players_arrived} arrived, "
+          f"{s.players_matched} matched, {s.players_rejected} rejected, "
+          f"{s.players_unmatched} unmatched")
+    print(f"  sessions        : {s.sessions_formed} formed, "
+          f"{s.sessions_admitted} admitted "
+          f"({s.sessions_rejected} rejected, "
+          f"{s.admission_retries} retries)")
+    if s.rejects_by_reason:
+        reasons = ", ".join(
+            f"{reason} x{count}" for reason, count in s.rejects_by_reason
+        )
+        print(f"  reject reasons  : {reasons}")
+    print(f"  join latency    : mean {s.join_mean_ms:.1f} ms "
+          f"(p50 {s.join_p50_ms:.1f}, p99 {s.join_p99_ms:.1f})")
+    farm = s.farm
+    print("  -- render farm --")
+    print(f"  renders         : {farm.renders} in {farm.batches} batches "
+          f"(mean {farm.mean_batch:.2f}/batch, peak queue {farm.queue_peak})")
+    print(f"  farm wait       : mean {farm.mean_wait_ms:.1f} ms "
+          f"(p99 {farm.p99_wait_ms:.1f}, "
+          f"{farm.deadline_misses} deadline misses)")
+    print(f"  coalesced       : {farm.coalesced} in-flight dedups")
+    print("  -- shared store --")
+    print(f"  dedup           : {s.store_hits}/{s.store_lookups} hits "
+          f"({100.0 * s.dedup_ratio:.1f} % fleet-wide)")
+    print("  -- throughput --")
+    print(f"  sessions/sec    : {s.sessions_per_s:.4f} "
+          f"({s.sessions_completed} completed in "
+          f"{s.makespan_ms / 1000.0:.1f} s)")
+
+
+def _verify_fleet_determinism(config: FleetConfig) -> int:
+    """Run the fleet twice; exit 1 unless the summaries are bit-identical."""
+    result_a = run_fleet(config)
+    result_b = run_fleet(config)
+    if result_a.summary != result_b.summary:
+        for fld in dataclasses.fields(result_a.summary):
+            va = getattr(result_a.summary, fld.name)
+            vb = getattr(result_b.summary, fld.name)
+            if va != vb:
+                print(f"  run 1 vs run 2 DIVERGED: summary.{fld.name}: "
+                      f"{va!r} vs {vb!r}", file=sys.stderr)
+                return 1
+        print("  run 1 vs run 2 DIVERGED", file=sys.stderr)
+        return 1
+    if result_a.sessions != result_b.sessions:
+        print("  run 1 vs run 2 DIVERGED: per-session reports differ",
+              file=sys.stderr)
+        return 1
+    s = result_a.summary
+    print(f"  run 1 == run 2: {s.sessions_completed} session(s), "
+          f"{s.farm.renders} renders, dedup {100.0 * s.dedup_ratio:.1f} % "
+          "-- bit-identical")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    games = tuple(g.strip() for g in args.games.split(",") if g.strip())
+    unknown = [g for g in games if g not in ALL_GAMES]
+    if unknown:
+        print(f"unknown game(s) {', '.join(unknown)}; "
+              f"known: {', '.join(ALL_GAMES)}", file=sys.stderr)
+        return 2
+    arrivals = None
+    if args.arrivals is not None:
+        try:
+            arrivals = ArrivalTrace.from_file(args.arrivals)
+        except (OSError, ValueError) as exc:
+            print(f"invalid --arrivals trace: {exc}", file=sys.stderr)
+            return 2
+        trace_games = [g for g in arrivals.games() if g not in ALL_GAMES]
+        if trace_games:
+            print(f"--arrivals trace requests unknown game(s) "
+                  f"{', '.join(trace_games)}; known: {', '.join(ALL_GAMES)}",
+                  file=sys.stderr)
+            return 2
+        if not len(arrivals):
+            print(f"--arrivals trace {args.arrivals} is empty",
+                  file=sys.stderr)
+            return 2
+    try:
+        config = _fleet_config(args, arrivals, games)
+    except ValueError as exc:
+        print(f"invalid fleet configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.verify_determinism:
+        trace = config.resolve_arrivals()
+        print(f"fleet determinism check: {args.workload} workload, "
+              f"{len(trace)} arrivals, seed {args.seed}")
+        return _verify_fleet_determinism(config)
+    metered = bool(args.metrics or args.openmetrics)
+    hub = MetricsHub() if metered else None
+    result = run_fleet(config, metrics=hub)
+    summary = result.summary
+    source = (f"trace {args.arrivals}" if arrivals is not None
+              else f"{args.workload} arrivals")
+    print(f"fleet: {source}, {len(summary.games)} game(s), "
+          f"{summary.arrivals} player(s) over "
+          f"{summary.horizon_ms / 1000.0:.1f} s:")
+    _print_fleet_summary(summary)
+    if config.fidelity == "full" and result.session_runs:
+        total_frames = sum(
+            p.metrics.frames
+            for run in result.session_runs
+            for p in run.players
+        )
+        print("  -- full fidelity --")
+        print(f"  session replays : {len(result.session_runs)} "
+              f"({total_frames} frame records through the "
+              f"{config.system} engine)")
+    if hub is not None:
+        slo_results = SloEngine(fleet_slos()).evaluate(hub.series)
+        print("  -- metrics --")
+        print(f"  series          : {len(hub.series)} "
+              f"({hub.samples_taken} sample boundaries)")
+        for slo in slo_results:
+            if slo.attainment is None:
+                status = "n/a (series absent)"
+            else:
+                status = (f"{100.0 * slo.attainment:.1f} % attained, "
+                          f"worst burn {slo.worst_burn:.1f}x")
+            alerts = f", {len(slo.alerts)} alert(s)" if slo.alerts else ""
+            print(f"  slo {slo.spec.name:<18}: {status}{alerts}")
+        if args.metrics:
+            n = write_metrics_jsonl(
+                args.metrics, hub, slo_results=slo_results,
+                meta={"workload": args.workload, "seed": args.seed,
+                      "games": ",".join(summary.games),
+                      "arrivals": summary.arrivals},
+            )
+            print(f"  metrics dump    : {n} records -> {args.metrics} "
+                  f"(compare with `repro report --diff A B`)")
+        if args.openmetrics:
+            write_openmetrics(args.openmetrics, hub)
+            print(f"  openmetrics     : -> {args.openmetrics}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -624,6 +814,71 @@ def build_parser() -> argparse.ArgumentParser:
     pre.add_argument("--perf", action="store_true",
                      help="print the per-stage perf report afterwards")
     pre.set_defaults(func=_cmd_preprocess)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate fleet-scale multi-session serving on a shared "
+             "render farm with cross-session panorama dedup",
+    )
+    fleet.add_argument("workload", choices=WORKLOADS, nargs="?",
+                       default="poisson",
+                       help="synthetic player-arrival workload "
+                            "(ignored with --arrivals)")
+    fleet.add_argument("--arrivals", default=None, metavar="TRACE.txt",
+                       help="replay a committed arrival trace file "
+                            "('t_ms game' lines) instead of generating one")
+    fleet.add_argument("--rate", type=float, default=2.0,
+                       help="mean player arrivals per second")
+    fleet.add_argument("--duration", type=float, default=30.0,
+                       help="arrival-window length in seconds")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--games", default="racing",
+                       help="comma-separated games players arrive for")
+    fleet.add_argument("--session-size", type=int, default=4,
+                       help="target party size per session")
+    fleet.add_argument("--min-session-size", type=int, default=2,
+                       help="smallest party a lobby timeout may launch")
+    fleet.add_argument("--max-wait-ms", type=float, default=1500.0,
+                       help="lobby fill timeout before forming short")
+    fleet.add_argument("--retry-ms", type=float, default=250.0,
+                       help="admission retry interval for rejected sessions")
+    fleet.add_argument("--patience-ms", type=float, default=4000.0,
+                       help="total wait before a rejected party gives up")
+    fleet.add_argument("--session-duration", type=float, default=10.0,
+                       help="simulated seconds each admitted session plays")
+    fleet.add_argument("--gpu-slots", type=int, default=4,
+                       help="concurrent render batches the farm sustains")
+    fleet.add_argument("--render-ms", type=float, default=30.0,
+                       help="GPU milliseconds per panorama render")
+    fleet.add_argument("--batch-max", type=int, default=8,
+                       help="renders dispatched per farm batch")
+    fleet.add_argument("--deadline-ms", type=float, default=250.0,
+                       help="render deadline for session warm-up points")
+    fleet.add_argument("--warmup-points", type=int, default=4,
+                       help="renders a session blocks on before going live")
+    fleet.add_argument("--fleet-mbps", type=float, default=2000.0,
+                       help="serving-backhaul capacity (Constraint 2)")
+    fleet.add_argument("--max-sessions", type=int, default=None,
+                       help="hard concurrent-session cap (default: none)")
+    fleet.add_argument("--isolated", action="store_true",
+                       help="disable cross-session dedup: namespace every "
+                            "panorama address per session (the bench_fleet "
+                            "comparator)")
+    fleet.add_argument("--fidelity", choices=FIDELITIES, default="model",
+                       help="'model' simulates demand only; 'full' replays "
+                            "every admitted session through the "
+                            "single-session engine afterwards")
+    fleet.add_argument("--system", choices=SYSTEMS, default="coterie",
+                       help="engine used for --fidelity full replays")
+    fleet.add_argument("--verify-determinism", action="store_true",
+                       help="run the fleet twice and exit 1 unless both "
+                            "summaries are bit-identical")
+    fleet.add_argument("--metrics", default=None, metavar="OUT.jsonl",
+                       help="sample fleet metrics and write the JSONL "
+                            "series dump (input to `repro report`)")
+    fleet.add_argument("--openmetrics", default=None, metavar="OUT.txt",
+                       help="write an OpenMetrics snapshot of the fleet run")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -1,0 +1,65 @@
+"""Fleet serving objectives with burn-rate alerting.
+
+The session-level stock SLOs (:func:`repro.telemetry.slo.default_slos`)
+already include a ``join_latency_p99`` objective over the
+``join_latency_ms`` series; the fleet run feeds that exact series (one
+gauge sample per admitted player), so the stock objective evaluates
+unchanged at fleet scope.  Two fleet-only objectives join it:
+
+* ``farm_wait_p99`` — render requests must clear the farm within the
+  prefetch deadline, or sessions stall in warm-up;
+* ``session_reject_rate`` — the fraction of formed sessions the fleet
+  turns away must stay small; a sustained reject burn is the capacity
+  pager signal.
+
+Fleet dynamics are slower than frame dynamics, so the burn-rate rules
+use wider windows than :data:`repro.telemetry.slo.DEFAULT_BURN_RULES` —
+a flash crowd shows up as a multi-second episode, not a 500 ms blip.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..telemetry.slo import BurnRule, SloSpec, default_slos
+
+#: Fleet-paced multi-window burn rules: a fast pair for flash crowds, a
+#: slow pair for sustained capacity exhaustion.
+FLEET_BURN_RULES: Tuple[BurnRule, ...] = (
+    BurnRule(short_ms=1000.0, long_ms=4000.0, threshold=6.0),
+    BurnRule(short_ms=2000.0, long_ms=8000.0, threshold=1.5),
+)
+
+#: Histogram bucket edges (ms) for fleet join latency — lobby wait plus
+#: admission retries plus warm-up renders, so seconds-scale.
+JOIN_BUCKETS_MS: Tuple[float, ...] = (
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0,
+)
+
+
+def fleet_slos() -> Tuple[SloSpec, ...]:
+    """The fleet's objectives: stock join latency plus fleet-only specs."""
+    join_spec = next(
+        spec for spec in default_slos() if spec.name == "join_latency_p99"
+    )
+    return (
+        join_spec,
+        SloSpec(
+            name="farm_wait_p99",
+            kind="value_max",
+            metric="farm_wait_ms",
+            bound=250.0,
+            window_ms=5000.0,
+            percentile=99.0,
+            rules=FLEET_BURN_RULES,
+        ),
+        SloSpec(
+            name="session_reject_rate",
+            kind="ratio",
+            metric="fleet_sessions_rejected_total",
+            total="fleet_sessions_formed_total",
+            bound=0.05,
+            window_ms=10000.0,
+            rules=FLEET_BURN_RULES,
+        ),
+    )

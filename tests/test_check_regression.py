@@ -343,8 +343,48 @@ class TestUpdateBaselines:
         assert run_gate(tmp_path / "base", empty, "--update-baselines") == 2
         assert "nothing re-pinned" in capsys.readouterr().err
 
-    def test_unknown_artifact_name_is_usage_error(self, tmp_path, capsys):
+    def test_nonconforming_name_is_usage_error(self, tmp_path, capsys):
         _, fresh = write_dirs(tmp_path)
         assert run_gate(tmp_path / "base", fresh, "--update-baselines",
-                        "--artifacts", "BENCH_bogus.json") == 2
+                        "--artifacts", "notes.json") == 2
         assert "no metric spec" in capsys.readouterr().err
+
+    def test_new_artifact_is_pinnable_before_its_spec_lands(self, tmp_path):
+        # A newly-introduced BENCH_*.json without a SPECS entry must be
+        # acceptable to --update-baselines: the first baseline pin and
+        # the spec land in the same change.
+        baseline, fresh = write_dirs(tmp_path)
+        (fresh / "BENCH_newsub.json").write_text(
+            json.dumps({"benchmark": "newsub", "ratio": 2.0})
+        )
+        updated = update_baselines(
+            baseline, fresh, artifacts=["BENCH_newsub.json"]
+        )
+        assert updated == ["BENCH_newsub.json"]
+        doc = json.loads((baseline / "BENCH_newsub.json").read_text())
+        assert doc["ratio"] == 2.0
+
+    def test_default_scan_includes_unspecced_bench_artifacts(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        (fresh / "BENCH_newsub.json").write_text(
+            json.dumps({"benchmark": "newsub"})
+        )
+        updated = update_baselines(baseline, fresh)
+        assert "BENCH_newsub.json" in updated
+        assert "BENCH_kernels.json" in updated
+
+    def test_new_artifact_must_still_be_valid_json(self, tmp_path):
+        baseline, fresh = write_dirs(tmp_path)
+        (fresh / "BENCH_newsub.json").write_text("{ nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            update_baselines(baseline, fresh,
+                             artifacts=["BENCH_newsub.json"])
+
+    def test_compare_mode_still_rejects_unspecced_names(self, tmp_path):
+        # The relaxation is update-only: comparing against an artifact
+        # with no metric spec is still a usage error.
+        baseline, fresh = write_dirs(tmp_path)
+        (fresh / "BENCH_newsub.json").write_text("{}")
+        (baseline / "BENCH_newsub.json").write_text("{}")
+        assert run_gate(baseline, fresh,
+                        "--artifacts", "BENCH_newsub.json") == 2
